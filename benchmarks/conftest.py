@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables/figures: it runs the
+experiment exactly once under ``pytest-benchmark`` (``rounds=1`` — the
+figure experiments are seconds-scale simulations, not microbenchmarks),
+prints the reproduced rows/series, stores the headline numbers in
+``benchmark.extra_info`` and asserts the paper's qualitative claims.
+"""
+
+from __future__ import annotations
+
+import json
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under the benchmark fixture and return its result."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def attach(benchmark, **info):
+    """Attach JSON-serializable numbers to the benchmark report."""
+    for key, value in info.items():
+        try:
+            json.dumps(value)
+            benchmark.extra_info[key] = value
+        except (TypeError, ValueError):
+            benchmark.extra_info[key] = str(value)
+
+
+def print_figure(title, body):
+    """Print a reproduced figure/table under a clear banner."""
+    banner = "=" * 78
+    print(f"\n{banner}\n{title}\n{banner}\n{body}\n")

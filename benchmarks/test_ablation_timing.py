@@ -1,0 +1,31 @@
+"""Ablation A2 — timing-model sensitivity.
+
+The ATI distribution's small-interval band is produced by kernel launch and
+host dispatch overheads; this ablation sweeps the host dispatch overhead and
+shows the median ATI tracking it, while the large outlier intervals (driven by
+the host-side iteration gap) barely move.
+"""
+
+import pytest
+
+from repro.experiments import run_timing_ablation
+from repro.viz import render_table
+
+from conftest import attach, print_figure, run_once
+
+
+@pytest.mark.benchmark(group="ablation-timing")
+def test_timing_model_sensitivity(benchmark):
+    rows = run_once(benchmark, run_timing_ablation)
+
+    print_figure("Ablation A2 — ATI percentiles vs host dispatch overhead",
+                 render_table([row.to_dict() for row in rows]))
+    attach(benchmark, rows=[row.to_dict() for row in rows])
+
+    medians = [row.p50_us for row in rows]
+    overheads = [row.host_dispatch_overhead_us for row in rows]
+    # The median ATI grows monotonically with the dispatch overhead...
+    assert all(b > a for a, b in zip(medians, medians[1:]))
+    # ...and roughly linearly: doubling the overhead never more than triples it.
+    for (o1, m1), (o2, m2) in zip(zip(overheads, medians), zip(overheads[1:], medians[1:])):
+        assert m2 - m1 < 3 * (o2 - o1) + 50

@@ -1,0 +1,46 @@
+"""Benchmark E4 — Equation 1 and the bandwidthTest measurement.
+
+Regenerates the paper's swap-bound arithmetic: the simulated bandwidth test
+measures ~6.3 / 6.4 GB/s pinned transfer bandwidth, and Eq. 1 then bounds the
+no-overhead swap size at ~79.37 KB for a 25 us ATI and ~2.54 GB for a 0.8 s
+ATI — the numbers the paper reports verbatim.
+"""
+
+import pytest
+
+from repro.experiments import run_eq1
+from repro.units import GB, KB
+from repro.viz import render_table
+
+from conftest import attach, print_figure, run_once
+
+
+@pytest.mark.benchmark(group="eq1")
+def test_eq1_bandwidth_and_swap_bounds(benchmark):
+    result = run_once(benchmark, run_eq1)
+
+    rows = [{"ATI (us)": ati_us, "max swap size (KB)": round(bound / KB, 2)}
+            for ati_us, bound in result.sweep]
+    print_figure("Equation 1 — maximum no-overhead swap size vs access-time interval",
+                 result.bandwidth_report.summary() + "\n\n" + render_table(rows))
+
+    summary = result.summary()
+    attach(benchmark, **summary)
+
+    # The paper's two operating points, reproduced to two decimal places.
+    assert summary["swap_bound_at_25us_kb"] == pytest.approx(79.37, abs=0.01)
+    assert summary["swap_bound_at_0.8s_gb"] == pytest.approx(2.54, abs=0.01)
+    # The simulated bandwidthTest lands on the paper's measured numbers.
+    assert summary["measured_h2d_gbps"] == pytest.approx(6.3, rel=0.05)
+    assert summary["measured_d2h_gbps"] == pytest.approx(6.4, rel=0.05)
+
+
+@pytest.mark.benchmark(group="eq1")
+def test_eq1_small_atis_make_swapping_useless(benchmark):
+    """The 25 us bound (≈79 KB) is 'a drop in the bucket' for the MLP footprint."""
+    result = run_once(benchmark, run_eq1)
+    bound_at_25us = result.paper_points[25.0]
+    # The MLP's large saved activation is hundreds of MB; 79 KB is < 0.1 % of it.
+    from repro.units import MIB
+    assert bound_at_25us < 0.001 * 600 * MIB
+    attach(benchmark, bound_at_25us_bytes=bound_at_25us)

@@ -1,0 +1,50 @@
+"""Benchmark E1/E9 — Figure 2: Gantt chart of the first five MLP training iterations.
+
+Regenerates the Gantt chart of block lifetimes over five iterations of the
+paper's MLP and verifies the paper's observations: the memory behaviors are
+iterative (per-iteration signatures repeat) and fragmentation is low.
+"""
+
+import pytest
+
+from repro.experiments import paper_mlp_config, run_fig2
+from repro.viz import render_gantt
+
+from conftest import attach, print_figure, run_once
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_gantt_chart_first_five_iterations(benchmark):
+    result = run_once(benchmark, run_fig2, paper_mlp_config(), 5)
+
+    print_figure("Figure 2 — Gantt chart of the first five MLP training iterations",
+                 render_gantt(result.gantt, width=100, max_rows=30))
+    summary = result.summary()
+    attach(benchmark,
+           num_rectangles=summary["num_rectangles"],
+           mean_sequence_similarity=summary["mean_sequence_similarity"],
+           mean_jaccard_similarity=summary["mean_jaccard_similarity"],
+           peak_live_bytes=summary["peak_live_bytes"],
+           iteration_durations_s=summary["iteration_durations_s"])
+
+    # Paper claims: obvious iterative patterns over the first five iterations,
+    # and few memory fragments.
+    assert summary["num_iterations"] == 5
+    assert result.patterns.is_iterative
+    assert result.patterns.mean_sequence_similarity > 0.95
+    assert result.fragmentation.peak_reserved_bytes >= result.fragmentation.peak_allocated_bytes
+    # Iteration durations are stable (the Gantt chart repeats).
+    durations = summary["iteration_durations_s"]
+    assert max(durations) - min(durations) < 0.05 * max(durations)
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_iterative_pattern_holds_for_lenet(benchmark):
+    """The paper notes the observation also applies to other DNNs."""
+    from repro.experiments.configs import breakdown_config
+    from repro.experiments.fig2_gantt import run_fig2 as run
+
+    config = breakdown_config(model="lenet5", dataset="mnist", batch_size=32, iterations=5)
+    result = run_once(benchmark, run, config, 5)
+    attach(benchmark, mean_sequence_similarity=result.patterns.mean_sequence_similarity)
+    assert result.patterns.is_iterative

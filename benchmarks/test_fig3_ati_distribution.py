@@ -1,0 +1,43 @@
+"""Benchmark E2/E3 — Figure 3: CDF and violin plot of MLP access-time intervals.
+
+Regenerates the ATI distribution of the MLP trace.  The paper reports a
+concentrated distribution with 90% of behaviors under 25 us; our simulated
+kernels are modelled with a roofline (no sub-kernel overlap, fewer per-op
+temporaries than real PyTorch), so the absolute percentiles are larger, but
+the distribution remains strongly bimodal/concentrated: the bulk of behaviors
+sit orders of magnitude below the iteration-scale outliers.
+"""
+
+import pytest
+
+from repro.experiments import run_fig3
+from repro.viz import render_cdf, render_violin
+
+from conftest import attach, print_figure, run_once
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_ati_cdf_and_violin(benchmark):
+    result = run_once(benchmark, run_fig3)
+
+    print_figure("Figure 3a — CDF of MLP access-time intervals (us)",
+                 render_cdf(result.cdf, width=70, height=14))
+    print_figure("Figure 3b — violin statistics per behavior kind (us)",
+                 render_violin(result.violins))
+
+    stats = result.summary_stats
+    attach(benchmark, num_intervals=stats.count, p50_us=stats.p50_us, p90_us=stats.p90_us,
+           mean_us=stats.mean_us, max_us=stats.max_us,
+           fraction_below_25us=result.fraction_below_25us)
+
+    # Shape checks: the distribution is concentrated well below the iteration
+    # scale, with a long tail of iteration-scale intervals.
+    assert stats.count > 200
+    assert stats.p50_us < 10_000                  # bulk of behaviors are << 10 ms
+    assert stats.max_us > 100_000                 # tail reaches the iteration scale
+    assert result.cdf.fraction_below(stats.p50_us) >= 0.5
+    # Most behaviors are far smaller than what swapping needs (paper Sec. III).
+    assert result.fraction_below_25us > 0.2
+    # Violin medians per behavior kind stay in the sub-millisecond regime.
+    for kind, violin in result.violins.items():
+        assert violin.median < 50_000, kind

@@ -1,0 +1,49 @@
+"""Benchmark E5 — Figure 4: per-behavior ATI and block size, outlier behaviors.
+
+Regenerates the pair-wise (ATI, block size) series of every MLP memory
+behavior and verifies the paper's headline observation: a few behaviors have
+ATIs above 0.8 s on blocks larger than 600 MB (the paper's red-marked example
+is 840 211 us / 1200 MB), and by Eq. 1 those — and only those — can hide a
+useful amount of swapping.
+"""
+
+import pytest
+
+from repro.core.swap import max_swap_bytes
+from repro.experiments import run_fig4
+from repro.units import GB, MIB, s_to_ns
+from repro.viz import render_scatter, render_table
+
+from conftest import attach, print_figure, run_once
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_pairwise_ati_and_outliers(benchmark):
+    result = run_once(benchmark, run_fig4)
+
+    points = [(row["behavior_index"], row["ati_us"]) for row in result.pairwise]
+    outlier_points = [(result.pairwise.index(row), row["ati_us"])
+                      for row in result.pairwise
+                      if row["ati_us"] * 1_000 >= s_to_ns(0.8)
+                      and row["size_bytes"] >= 600 * MIB]
+    print_figure("Figure 4 — per-behavior ATI (us) vs behavior index",
+                 render_scatter(points, highlight=outlier_points,
+                                x_label="behavior index", y_label="ATI (us)"))
+    print_figure("Figure 4 — outlier behaviors (ATI > 0.8 s and size > 600 MB)",
+                 render_table([{"description": line} for line in result.outliers.describe()])
+                 if result.outliers.count else "(none)")
+
+    summary = result.summary()
+    attach(benchmark, **{k: v for k, v in summary.items() if k != "workload"})
+
+    # Paper-shape assertions.
+    assert result.outliers.count > 0
+    assert result.outliers.fraction < 0.2                     # outliers are rare
+    largest = result.outliers.largest
+    assert largest.size >= 600 * MIB                          # same size regime as the paper
+    assert largest.interval_ns >= s_to_ns(0.8)                # same ATI regime as the paper
+    # Eq. 1 on the largest outlier allows far more than the block itself
+    # (the paper computes 2.54 GB >> 1200 MB for its red-marked outlier).
+    bound = max_swap_bytes(largest.interval_ns, result.bandwidths)
+    assert bound > largest.size
+    assert summary["largest_outlier_swap_bound_gb"] > 2.0

@@ -1,0 +1,38 @@
+"""Benchmark E6 — Figure 5: memory occupation breakdown of typical DNNs.
+
+Regenerates the three-way (input data / parameters / intermediate results)
+breakdown at peak occupancy for a family of typical DNNs and checks the
+paper's claims: parameters are a small fraction of the training footprint for
+every model, and intermediate results are the dominant bucket.
+"""
+
+import pytest
+
+from repro.core.events import PAPER_BUCKETS
+from repro.experiments import run_fig5
+from repro.viz import render_stacked_bars
+
+from conftest import attach, print_figure, run_once
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_breakdown_of_typical_dnns(benchmark):
+    result = run_once(benchmark, run_fig5)
+
+    rows = result.rows()
+    print_figure("Figure 5 — memory occupation breakdown of typical DNN training",
+                 render_stacked_bars(rows, PAPER_BUCKETS, label_key="label"))
+
+    attach(benchmark,
+           num_models=len(rows),
+           parameter_fractions={row["label"]: round(row["parameters"], 3) for row in rows},
+           intermediate_fractions={row["label"]: round(row["intermediate results"], 3)
+                                   for row in rows})
+
+    # Paper claims.
+    assert len(rows) >= 6
+    assert result.parameters_always_minor(threshold=0.5)
+    assert result.intermediates_dominant_count() == len(rows)
+    for row in rows:
+        assert row["intermediate results"] > row["input data"]
+        assert abs(sum(row[bucket] for bucket in PAPER_BUCKETS) - 1.0) < 1e-6

@@ -1,0 +1,41 @@
+"""Benchmark E7 — Figure 6: AlexNet breakdown versus batch size (CIFAR-100).
+
+Regenerates the batch-size sweep of the linear DNN (AlexNet on CIFAR-100
+shaped data) and checks the paper's claims: as batch size grows, intermediate
+results gradually dominate, the parameter share weakens, and the input-data
+share increases slightly.
+"""
+
+import pytest
+
+from repro.core.events import PAPER_BUCKETS
+from repro.experiments import DEFAULT_FIG6_BATCH_SIZES, run_fig6
+from repro.viz import render_stacked_bars
+
+from conftest import attach, print_figure, run_once
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_alexnet_breakdown_vs_batch_size(benchmark):
+    result = run_once(benchmark, run_fig6)
+
+    rows = result.rows()
+    print_figure("Figure 6 — AlexNet (CIFAR-100) breakdown vs batch size",
+                 render_stacked_bars(rows, PAPER_BUCKETS, label_key="batch_size"))
+
+    attach(benchmark,
+           batch_sizes=list(DEFAULT_FIG6_BATCH_SIZES),
+           intermediate_trend=[round(value, 3)
+                               for value in result.series.trend("intermediate results")],
+           parameter_trend=[round(value, 3) for value in result.series.trend("parameters")],
+           input_trend=[round(value, 3) for value in result.series.trend("input data")])
+
+    # Paper claims.
+    assert result.intermediates_grow_with_batch()
+    assert result.parameters_shrink_with_batch()
+    input_trend = result.series.trend("input data")
+    assert input_trend[-1] >= input_trend[0]            # input share increases slightly
+    totals = [row["total_bytes"] for row in rows]
+    assert all(b > a for a, b in zip(totals, totals[1:]))
+    # At the largest batch, intermediates dominate outright.
+    assert result.series.trend("intermediate results")[-1] > 0.5

@@ -1,0 +1,41 @@
+"""Benchmark E8 — Figure 7: ResNet breakdown versus depth (ImageNet).
+
+Regenerates the non-linear DNN sweep (ResNet-18/34/50/101/152 on
+ImageNet-sized inputs, fixed batch) and checks the paper's claims:
+intermediate results dominate the footprint at every depth, the parameter
+share stays minor, and the absolute footprint grows with the number of
+residual layer blocks.
+"""
+
+import pytest
+
+from repro.core.events import PAPER_BUCKETS
+from repro.experiments import DEFAULT_FIG7_DEPTHS, run_fig7
+from repro.viz import render_stacked_bars
+
+from conftest import attach, print_figure, run_once
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_resnet_breakdown_vs_depth(benchmark):
+    result = run_once(benchmark, run_fig7)
+
+    rows = result.rows()
+    print_figure("Figure 7 — ResNet (ImageNet, batch 16) breakdown vs depth",
+                 render_stacked_bars(rows, PAPER_BUCKETS, label_key="depth"))
+
+    attach(benchmark,
+           depths=list(DEFAULT_FIG7_DEPTHS),
+           total_bytes=[row["total_bytes"] for row in rows],
+           intermediate_trend=[round(value, 3)
+                               for value in result.series.trend("intermediate results")],
+           parameter_trend=[round(value, 3) for value in result.series.trend("parameters")])
+
+    # Paper claims.
+    assert len(rows) == len(DEFAULT_FIG7_DEPTHS)
+    assert result.intermediates_dominant_everywhere(threshold=0.5)
+    assert result.parameters_always_minor(threshold=0.5)
+    assert result.total_footprint_grows_with_depth()
+    # The deepest network's intermediates dwarf its parameters by a wide margin.
+    deepest = rows[-1]
+    assert deepest["intermediate results"] > 4 * deepest["parameters"]

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Quickstart: profile the memory behaviors of a small MLP training run.
+
+This is the five-minute tour of the library:
+
+1. describe a training workload with :class:`repro.TrainingRunConfig`;
+2. run it with :func:`repro.run_training_session` — the device allocator and
+   every tensor access are instrumented automatically;
+3. analyse the recorded trace: access-time intervals, occupation breakdown,
+   Gantt chart and iterative-pattern report.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import TrainingRunConfig, run_training_session
+from repro.core import (
+    build_gantt_chart,
+    compute_access_intervals,
+    detect_iterative_pattern,
+    occupation_breakdown,
+    summarize_intervals,
+)
+from repro.units import format_bytes
+from repro.viz import render_gantt
+
+
+def main() -> None:
+    config = TrainingRunConfig(
+        model="mlp",
+        model_kwargs={"hidden_dim": 512},
+        dataset="two_cluster",
+        batch_size=256,
+        iterations=5,
+        execution_mode="eager",       # actually computes: the loss goes down
+        label="quickstart MLP",
+    )
+    print(f"Training {config.describe()} on a simulated Titan X (Pascal)...\n")
+    result = run_training_session(config)
+
+    print("Per-iteration loss (eager execution computes real values):")
+    for stats in result.iteration_stats:
+        print(f"  iteration {stats.index}: loss={stats.loss:.4f} "
+              f"time={stats.duration_ns / 1e6:.2f} ms "
+              f"peak={format_bytes(stats.peak_allocated_bytes)}")
+
+    trace = result.trace
+    print(f"\nRecorded {len(trace)} memory behaviors on {len(trace.block_ids())} device blocks.")
+
+    intervals = compute_access_intervals(trace)
+    summary = summarize_intervals(intervals)
+    print(f"Access-time intervals: n={summary.count}, "
+          f"p50={summary.p50_us:.1f} us, p90={summary.p90_us:.1f} us, "
+          f"max={summary.max_us / 1e6:.3f} s")
+
+    breakdown = occupation_breakdown(trace, label=config.label)
+    print("\nOccupation breakdown at peak footprint:")
+    print("  " + breakdown.format_row())
+
+    patterns = detect_iterative_pattern(trace)
+    print(f"\nIterative pattern: similarity={patterns.mean_sequence_similarity:.3f} "
+          f"(iterative={patterns.is_iterative})")
+
+    print("\nGantt chart of block lifetimes (first 5 iterations):")
+    print(render_gantt(build_gantt_chart(trace, max_iterations=5), width=90, max_rows=20))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""The paper's future work: plan memory swapping from the recorded trace.
+
+Runs the trace-driven swap planner (the "automatic cost model" announced in
+the paper's conclusion) on the MLP workload and compares it against:
+
+* a SwapAdvisor-style policy that swaps the largest tensors regardless of
+  their access timing;
+* a ZeRO-Offload-style policy that keeps optimizer state and gradients on the
+  host;
+* a gradient-checkpointing (recompute) estimate; and
+* the paper's own counter-argument to weight pruning/quantization.
+
+Run with:  python examples/swap_planning.py [--batch-size N] [--allow-overhead-ms M]
+"""
+
+import argparse
+
+from repro.baselines import estimate_pruning, estimate_quantization, estimate_recompute_plan
+from repro.experiments import paper_mlp_config, run_swap_planner
+from repro.units import format_bytes, format_duration
+from repro.viz import render_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--batch-size", type=int, default=16384)
+    parser.add_argument("--allow-overhead-ms", type=float, default=0.0,
+                        help="Runtime overhead budget the planner may spend (ms)")
+    args = parser.parse_args()
+
+    config = paper_mlp_config(batch_size=args.batch_size)
+    print(f"Planning memory-pressure reduction for {config.describe()} ...\n")
+    result = run_swap_planner(config=config,
+                              allow_overhead_ns=args.allow_overhead_ms * 1e6)
+    trace = result.session.trace
+
+    print("ATI-aware swap plan (this work):")
+    print(result.plan.describe())
+
+    recompute = estimate_recompute_plan(trace, keep_every=2)
+    pruning = estimate_pruning(trace, sparsity=0.9)
+    quantization = estimate_quantization(trace, bits=8)
+
+    rows = [
+        {"approach": "ATI-aware swap planner",
+         "peak saved": f"{100 * result.plan.savings_fraction:.1f}%",
+         "overhead": format_duration(result.plan.total_overhead_ns)},
+        {"approach": "SwapAdvisor-style (largest tensors)",
+         "peak saved": f"{100 * result.swap_advisor_baseline.savings_fraction:.1f}%",
+         "overhead": format_duration(result.swap_advisor_baseline.overhead_ns)},
+        {"approach": "ZeRO-Offload-style (optimizer state)",
+         "peak saved": f"{100 * result.zero_offload_baseline.savings_fraction:.1f}%",
+         "overhead": format_duration(result.zero_offload_baseline.overhead_ns)},
+        {"approach": "Gradient checkpointing (keep 1/2)",
+         "peak saved": f"{100 * recompute.savings_fraction:.1f}%",
+         "overhead": format_duration(recompute.recompute_time_overhead_ns)},
+        {"approach": "Weight pruning (90% sparsity)",
+         "peak saved": f"{100 * pruning.total_reduction_fraction:.1f}%",
+         "overhead": "retraining"},
+        {"approach": "Weight quantization (8-bit)",
+         "peak saved": f"{100 * quantization.total_reduction_fraction:.1f}%",
+         "overhead": "accuracy loss"},
+    ]
+    print("\nComparison of memory-pressure-reduction approaches on this trace:")
+    print(render_table(rows))
+
+    print(f"\nPeak footprint before: {format_bytes(result.plan.peak_bytes_before)}")
+    print(f"Peak footprint after the planner's swaps: "
+          f"{format_bytes(result.plan.estimated_peak_bytes_after)}")
+    print("\nThe pruning/quantization rows illustrate the paper's Figure-5 argument: "
+          "parameters are such a small share of the training footprint that compressing "
+          "them barely moves the peak, while the high-ATI/large-block outliers that the "
+          "planner targets account for most of it.")
+
+
+if __name__ == "__main__":
+    main()

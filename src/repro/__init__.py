@@ -1,0 +1,59 @@
+"""repro — reproduction of "Pinpointing the Memory Behaviors of DNN Training" (ISPASS 2021).
+
+The package is organised as the paper's system is:
+
+* :mod:`repro.device` — a simulated GPU (Titan X Pascal by default) with an
+  instrumented, PyTorch-style caching allocator, DMA engine and timing model;
+* :mod:`repro.tensor`, :mod:`repro.nn`, :mod:`repro.models`, :mod:`repro.data`,
+  :mod:`repro.train` — the DNN training stack that generates memory behaviors;
+* :mod:`repro.core` — the paper's contribution: block-level memory-behavior
+  recording (malloc/free/read/write) and the analyses behind every figure
+  (Gantt charts, ATI distributions, outliers, Eq. 1 swap bounds, occupation
+  breakdowns, and the future-work swap planner);
+* :mod:`repro.experiments` — one entry point per paper figure/table;
+* :mod:`repro.viz` — ASCII renderings and CSV/JSON export of figure data;
+* :mod:`repro.baselines` — swapping/recomputation/compression baselines used
+  for context in the discussion sections.
+
+Quickstart
+----------
+>>> from repro import TrainingRunConfig, run_training_session
+>>> from repro.core import compute_access_intervals, summarize_intervals
+>>> result = run_training_session(TrainingRunConfig(batch_size=256, iterations=5))
+>>> summary = summarize_intervals(compute_access_intervals(result.trace))
+>>> summary.p90_us  # doctest: +SKIP
+"""
+
+from .core import (
+    MemoryCategory,
+    MemoryEvent,
+    MemoryEventKind,
+    MemoryProfiler,
+    MemoryTrace,
+    SwapPlanner,
+    TraceRecorder,
+)
+from .device import Device, DeviceSpec, get_device_spec, titan_x_pascal
+from .errors import ReproError
+from .train import SessionResult, Trainer, TrainingRunConfig, run_training_session
+from .version import __version__
+
+__all__ = [
+    "Device",
+    "DeviceSpec",
+    "MemoryCategory",
+    "MemoryEvent",
+    "MemoryEventKind",
+    "MemoryProfiler",
+    "MemoryTrace",
+    "ReproError",
+    "SessionResult",
+    "SwapPlanner",
+    "TraceRecorder",
+    "Trainer",
+    "TrainingRunConfig",
+    "__version__",
+    "get_device_spec",
+    "run_training_session",
+    "titan_x_pascal",
+]

@@ -1,0 +1,16 @@
+"""Reference memory-pressure-reduction policies used for comparison."""
+
+from .pruning import CompressionEstimate, estimate_pruning, estimate_quantization
+from .recompute import RecomputePlan, estimate_recompute_plan
+from .swapping import SwapPolicyResult, swap_advisor_style_policy, zero_offload_style_policy
+
+__all__ = [
+    "CompressionEstimate",
+    "RecomputePlan",
+    "SwapPolicyResult",
+    "estimate_pruning",
+    "estimate_quantization",
+    "estimate_recompute_plan",
+    "swap_advisor_style_policy",
+    "zero_offload_style_policy",
+]

@@ -1,0 +1,107 @@
+"""Gradient-checkpointing (recomputation) estimator.
+
+An alternative to swapping for reducing the intermediate-results footprint is
+to discard activations in the forward pass and recompute them during
+backward.  This estimator works directly on the recorded trace: it treats the
+saved activations (category ``activation``) as discardable, keeps only every
+k-th one as a checkpoint and estimates both the footprint reduction and the
+extra compute (re-running the forward segments between checkpoints).
+
+It is used alongside the swapping baselines to put the paper's "outliers are
+the focus of attention" conclusion in context: recomputation attacks the same
+intermediate-results bytes from the compute side instead of the transfer
+side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.events import MemoryCategory
+from ..core.trace import MemoryTrace
+
+
+@dataclass
+class RecomputePlan:
+    """Estimated effect of checkpointing every ``keep_every``-th activation."""
+
+    keep_every: int
+    activation_bytes_total: int
+    activation_bytes_kept: int
+    activation_bytes_discarded: int
+    peak_bytes_before: int
+    estimated_peak_bytes_after: int
+    recompute_time_overhead_ns: int
+
+    @property
+    def savings_bytes(self) -> int:
+        """Estimated peak-footprint reduction."""
+        return self.peak_bytes_before - self.estimated_peak_bytes_after
+
+    @property
+    def savings_fraction(self) -> float:
+        """Peak reduction as a fraction of the original peak."""
+        if self.peak_bytes_before == 0:
+            return 0.0
+        return self.savings_bytes / self.peak_bytes_before
+
+    def summary(self) -> Dict[str, object]:
+        """Compact summary for reports."""
+        return {
+            "keep_every": self.keep_every,
+            "activation_bytes_total": self.activation_bytes_total,
+            "activation_bytes_discarded": self.activation_bytes_discarded,
+            "savings_bytes": self.savings_bytes,
+            "savings_fraction": self.savings_fraction,
+            "recompute_time_overhead_ns": self.recompute_time_overhead_ns,
+        }
+
+
+def estimate_recompute_plan(trace: MemoryTrace, keep_every: int = 2,
+                            forward_fraction_of_iteration: float = 0.33) -> RecomputePlan:
+    """Estimate checkpointing on a recorded trace.
+
+    Parameters
+    ----------
+    trace:
+        The profiled training trace.
+    keep_every:
+        Keep one activation out of every ``keep_every`` as a checkpoint
+        (``keep_every=2`` halves the resident activations).
+    forward_fraction_of_iteration:
+        Fraction of an iteration spent in the forward pass; the recompute
+        overhead is approximated as that fraction of the iteration time per
+        discarded segment group (a standard first-order model).
+    """
+    if keep_every < 1:
+        raise ValueError("keep_every must be at least 1")
+    activation_lifetimes = [lifetime for lifetime in trace.lifetimes
+                            if lifetime.category is MemoryCategory.ACTIVATION]
+    # Consider steady-state iterations only (iteration >= 1) to avoid counting
+    # the warm-up allocations twice.
+    steady = [lifetime for lifetime in activation_lifetimes if lifetime.iteration >= 1]
+    reference = steady if steady else activation_lifetimes
+    iterations = {lifetime.iteration for lifetime in reference}
+    per_iteration = max(1, len(iterations))
+    total = sum(lifetime.size for lifetime in reference) // per_iteration
+    kept = sum(lifetime.size for index, lifetime in enumerate(sorted(
+        reference, key=lambda item: item.malloc_ns)) if index % keep_every == 0) // per_iteration
+    discarded = max(0, total - kept)
+
+    durations = [mark.duration_ns() for mark in trace.iteration_marks
+                 if mark.end_ns is not None]
+    mean_iteration_ns = int(sum(durations) / len(durations)) if durations else 0
+    recompute_overhead = int(mean_iteration_ns * forward_fraction_of_iteration
+                             * (1.0 - 1.0 / keep_every))
+
+    peak_before = trace.peak_live_bytes()
+    return RecomputePlan(
+        keep_every=keep_every,
+        activation_bytes_total=total,
+        activation_bytes_kept=min(kept, total),
+        activation_bytes_discarded=discarded,
+        peak_bytes_before=peak_before,
+        estimated_peak_bytes_after=max(0, peak_before - discarded),
+        recompute_time_overhead_ns=recompute_overhead,
+    )

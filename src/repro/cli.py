@@ -1,0 +1,166 @@
+"""Command-line interface.
+
+Three subcommands cover the common workflows without writing any Python:
+
+``python -m repro list``
+    Show the registered models, datasets and device presets.
+
+``python -m repro profile --model lenet5 --dataset mnist --batch-size 32``
+    Run one profiled training session and print the trace summary, the ATI
+    statistics and the occupation breakdown; optionally save the full trace
+    to JSON for later analysis.
+
+``python -m repro figure fig6``
+    Regenerate one of the paper's figures (``fig2`` … ``fig7``, ``eq1``,
+    ``swap``) and print its ASCII rendering / table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core import compute_access_intervals, occupation_breakdown, summarize_intervals
+from .core.events import PAPER_BUCKETS
+from .data.datasets import DATASET_PRESETS
+from .device.spec import DEVICE_PRESETS
+from .models.registry import available_models
+from .train.session import TrainingRunConfig, run_training_session
+from .units import format_bytes
+from .viz import render_stacked_bars, render_table
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Pinpointing the Memory Behaviors of DNN Training'",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list registered models, datasets and devices")
+
+    profile = subparsers.add_parser("profile", help="profile one training workload")
+    profile.add_argument("--model", default="paper_mlp", choices=available_models())
+    profile.add_argument("--dataset", default="two_cluster", choices=sorted(DATASET_PRESETS))
+    profile.add_argument("--batch-size", type=int, default=64)
+    profile.add_argument("--iterations", type=int, default=5)
+    profile.add_argument("--execution-mode", default="virtual", choices=("eager", "virtual"))
+    profile.add_argument("--device", default="titan_x_pascal", choices=sorted(DEVICE_PRESETS))
+    profile.add_argument("--allocator", default="caching",
+                         choices=("caching", "best_fit", "bump"))
+    profile.add_argument("--input-size", type=int, default=None,
+                         help="model input resolution (conv models only)")
+    profile.add_argument("--num-classes", type=int, default=None)
+    profile.add_argument("--save-trace", default=None, metavar="PATH",
+                         help="write the full trace to a JSON file")
+
+    figure = subparsers.add_parser("figure", help="regenerate one paper figure")
+    figure.add_argument("name", choices=("fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+                                         "eq1", "swap"))
+    return parser
+
+
+def _cmd_list() -> int:
+    print("models:   " + ", ".join(available_models()))
+    print("datasets: " + ", ".join(sorted(DATASET_PRESETS)))
+    print("devices:  " + ", ".join(sorted(DEVICE_PRESETS)))
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    model_kwargs = {}
+    if args.input_size is not None:
+        model_kwargs["input_size"] = args.input_size
+    if args.num_classes is not None:
+        model_kwargs["num_classes"] = args.num_classes
+    config = TrainingRunConfig(
+        model=args.model, model_kwargs=model_kwargs, dataset=args.dataset,
+        batch_size=args.batch_size, iterations=args.iterations,
+        execution_mode=args.execution_mode, device_spec=args.device,
+        allocator=args.allocator,
+    )
+    print(f"Profiling {config.describe()} ...")
+    result = run_training_session(config)
+    trace = result.trace
+
+    print("\nTrace summary:")
+    for key, value in trace.summary().items():
+        print(f"  {key}: {value}")
+    print(f"  peak allocated: {format_bytes(result.peak_allocated_bytes)}")
+
+    summary = summarize_intervals(compute_access_intervals(trace))
+    print("\nAccess-time intervals (us):")
+    for key, value in summary.to_dict().items():
+        print(f"  {key}: {value:.3f}" if isinstance(value, float) else f"  {key}: {value}")
+
+    print("\nOccupation breakdown at peak:")
+    print("  " + occupation_breakdown(trace, label=config.describe()).format_row())
+
+    if args.save_trace:
+        path = trace.save_json(args.save_trace)
+        print(f"\nTrace written to {path}")
+    return 0
+
+
+def _cmd_figure(name: str) -> int:
+    # Imports are local so that `repro list` stays fast.
+    from . import experiments
+    from .viz import render_cdf, render_gantt, render_scatter, render_violin
+
+    if name == "fig2":
+        result = experiments.run_fig2()
+        print(render_gantt(result.gantt, width=100, max_rows=30))
+        for key, value in result.summary().items():
+            print(f"{key}: {value}")
+    elif name == "fig3":
+        result = experiments.run_fig3()
+        print(render_cdf(result.cdf))
+        print()
+        print(render_violin(result.violins))
+        print()
+        for key, value in result.summary().items():
+            print(f"{key}: {value}")
+    elif name == "fig4":
+        result = experiments.run_fig4()
+        points = [(index, row["ati_us"]) for index, row in enumerate(result.pairwise)]
+        print(render_scatter(points))
+        for line in result.outliers.describe():
+            print("  " + line)
+        for key, value in result.summary().items():
+            print(f"{key}: {value}")
+    elif name == "fig5":
+        result = experiments.run_fig5()
+        print(render_stacked_bars(result.rows(), PAPER_BUCKETS, label_key="label"))
+    elif name == "fig6":
+        result = experiments.run_fig6()
+        print(render_stacked_bars(result.rows(), PAPER_BUCKETS, label_key="batch_size"))
+    elif name == "fig7":
+        result = experiments.run_fig7()
+        print(render_stacked_bars(result.rows(), PAPER_BUCKETS, label_key="depth"))
+    elif name == "eq1":
+        result = experiments.run_eq1()
+        print(result.bandwidth_report.summary())
+        rows = [{"ati_us": ati, "max_swap_kb": round(bound / 1000, 2)}
+                for ati, bound in result.sweep]
+        print(render_table(rows))
+    elif name == "swap":
+        result = experiments.run_swap_planner()
+        print(result.plan.describe())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "profile":
+        return _cmd_profile(args)
+    if args.command == "figure":
+        return _cmd_figure(args.name)
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

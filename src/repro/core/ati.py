@@ -1,0 +1,173 @@
+"""Access-time-interval (ATI) analysis.
+
+The ATI is the elapsed time between two adjacent memory accesses to the same
+device memory block (Section III of the paper).  Figures 3 and 4 are built
+from the collection of per-block ATIs:
+
+* Figure 3a is the CDF of all ATIs;
+* Figure 3b is the violin plot of ATIs grouped by behavior kind;
+* Figure 4 plots each behavior's ATI together with the size of the block it
+  touches, revealing the high-ATI / large-block outliers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..units import ns_to_us
+from .events import MemoryCategory, MemoryEvent, MemoryEventKind
+from .trace import MemoryTrace
+
+
+@dataclass(frozen=True)
+class AccessInterval:
+    """One ATI sample: the gap between two adjacent accesses to the same block."""
+
+    block_id: int
+    size: int
+    category: MemoryCategory
+    tag: str
+    interval_ns: int
+    start_event_id: int
+    end_event_id: int
+    start_kind: MemoryEventKind
+    end_kind: MemoryEventKind
+    iteration: int
+
+    @property
+    def interval_us(self) -> float:
+        """The ATI in microseconds (the unit the paper reports)."""
+        return ns_to_us(self.interval_ns)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Serialize for CSV/JSON export."""
+        return {
+            "block_id": self.block_id,
+            "size": self.size,
+            "category": self.category.value,
+            "tag": self.tag,
+            "interval_ns": self.interval_ns,
+            "interval_us": self.interval_us,
+            "start_event_id": self.start_event_id,
+            "end_event_id": self.end_event_id,
+            "start_kind": self.start_kind.value,
+            "end_kind": self.end_kind.value,
+            "iteration": self.iteration,
+        }
+
+
+@dataclass
+class AtiSummary:
+    """Distribution summary of a set of ATIs (all durations in microseconds)."""
+
+    count: int
+    mean_us: float
+    p50_us: float
+    p90_us: float
+    p99_us: float
+    min_us: float
+    max_us: float
+
+    def to_dict(self) -> Dict[str, float]:
+        """Serialize the summary."""
+        return {
+            "count": self.count,
+            "mean_us": self.mean_us,
+            "p50_us": self.p50_us,
+            "p90_us": self.p90_us,
+            "p99_us": self.p99_us,
+            "min_us": self.min_us,
+            "max_us": self.max_us,
+        }
+
+
+def compute_access_intervals(trace: MemoryTrace, include_lifecycle: bool = False,
+                             min_interval_ns: int = 0) -> List[AccessInterval]:
+    """Compute every ATI in a trace.
+
+    Parameters
+    ----------
+    trace:
+        The recorded memory trace.
+    include_lifecycle:
+        If true, ``malloc``/``free`` events also count as accesses when
+        forming adjacent pairs (the paper's instrumentation tracks all four
+        behaviors; accesses alone are the default because only they move
+        data).
+    min_interval_ns:
+        Drop intervals shorter than this (0 keeps everything).
+    """
+    trace.require_events()
+    intervals: List[AccessInterval] = []
+    for block_id, events in trace.events_by_block().items():
+        if include_lifecycle:
+            relevant = [e for e in events if e.kind.is_block_behavior]
+        else:
+            relevant = [e for e in events if e.kind.is_access]
+        for previous, current in zip(relevant, relevant[1:]):
+            gap = current.timestamp_ns - previous.timestamp_ns
+            if gap < min_interval_ns:
+                continue
+            intervals.append(AccessInterval(
+                block_id=block_id,
+                size=current.size,
+                category=current.category,
+                tag=current.tag,
+                interval_ns=gap,
+                start_event_id=previous.event_id,
+                end_event_id=current.event_id,
+                start_kind=previous.kind,
+                end_kind=current.kind,
+                iteration=current.iteration,
+            ))
+    intervals.sort(key=lambda interval: interval.end_event_id)
+    return intervals
+
+
+def intervals_by_kind(intervals: Sequence[AccessInterval]) -> Dict[str, List[AccessInterval]]:
+    """Group intervals by the kind of the access that closes them (Figure 3b groups)."""
+    grouped: Dict[str, List[AccessInterval]] = {}
+    for interval in intervals:
+        grouped.setdefault(interval.end_kind.value, []).append(interval)
+    return grouped
+
+
+def intervals_by_category(intervals: Sequence[AccessInterval]) -> Dict[str, List[AccessInterval]]:
+    """Group intervals by the memory category of the block."""
+    grouped: Dict[str, List[AccessInterval]] = {}
+    for interval in intervals:
+        grouped.setdefault(interval.category.value, []).append(interval)
+    return grouped
+
+
+def summarize_intervals(intervals: Sequence[AccessInterval]) -> AtiSummary:
+    """Distribution summary (mean / percentiles) of a set of ATIs."""
+    if not intervals:
+        return AtiSummary(count=0, mean_us=0.0, p50_us=0.0, p90_us=0.0, p99_us=0.0,
+                          min_us=0.0, max_us=0.0)
+    values = np.array([interval.interval_us for interval in intervals], dtype=np.float64)
+    return AtiSummary(
+        count=int(values.size),
+        mean_us=float(values.mean()),
+        p50_us=float(np.percentile(values, 50)),
+        p90_us=float(np.percentile(values, 90)),
+        p99_us=float(np.percentile(values, 99)),
+        min_us=float(values.min()),
+        max_us=float(values.max()),
+    )
+
+
+def fraction_below(intervals: Sequence[AccessInterval], threshold_us: float) -> float:
+    """Fraction of ATIs below ``threshold_us`` (the paper's "90% below 25us" claim)."""
+    if not intervals:
+        return 0.0
+    values = np.array([interval.interval_us for interval in intervals])
+    return float(np.mean(values <= threshold_us))
+
+
+def interval_values_us(intervals: Sequence[AccessInterval]) -> np.ndarray:
+    """The raw ATI values in microseconds as a NumPy array."""
+    return np.array([interval.interval_us for interval in intervals], dtype=np.float64)

@@ -1,0 +1,164 @@
+"""Device memory occupation breakdown (Figures 5, 6 and 7).
+
+Following LeCun et al., the paper splits device memory contents into three
+buckets — *input data*, *parameters* and *intermediate results* — and reports
+each bucket's share of the footprint for several DNNs, batch sizes and layer
+structures.  Here the breakdown is computed from the recorded trace: we replay
+the allocation/free events, find the instant of peak occupancy and attribute
+the bytes live at that instant to their buckets (a per-category peak view is
+also provided).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..units import format_bytes
+from .events import MemoryCategory, MemoryEventKind, PAPER_BUCKETS
+from .trace import MemoryTrace
+
+
+@dataclass
+class OccupationBreakdown:
+    """Bytes per bucket at the moment of peak device occupancy."""
+
+    label: str
+    peak_time_ns: int
+    total_bytes: int
+    bucket_bytes: Dict[str, int]
+    category_bytes: Dict[str, int]
+    category_peak_bytes: Dict[str, int]
+
+    def fraction(self, bucket: str) -> float:
+        """Share of the footprint attributed to one paper bucket at the peak."""
+        if self.total_bytes == 0:
+            return 0.0
+        return self.bucket_bytes.get(bucket, 0) / self.total_bytes
+
+    def fractions(self) -> Dict[str, float]:
+        """Share of every paper bucket at the peak."""
+        return {bucket: self.fraction(bucket) for bucket in PAPER_BUCKETS}
+
+    def to_dict(self) -> Dict[str, object]:
+        """Serialize for figure-data export."""
+        return {
+            "label": self.label,
+            "peak_time_ns": self.peak_time_ns,
+            "total_bytes": self.total_bytes,
+            "bucket_bytes": dict(self.bucket_bytes),
+            "bucket_fractions": self.fractions(),
+            "category_bytes": dict(self.category_bytes),
+            "category_peak_bytes": dict(self.category_peak_bytes),
+        }
+
+    def format_row(self) -> str:
+        """One human-readable row: label, total and per-bucket shares."""
+        shares = ", ".join(
+            f"{bucket}: {format_bytes(self.bucket_bytes.get(bucket, 0))} "
+            f"({100.0 * self.fraction(bucket):.1f}%)"
+            for bucket in PAPER_BUCKETS
+        )
+        return f"{self.label}: total {format_bytes(self.total_bytes)} | {shares}"
+
+
+def occupation_breakdown(trace: MemoryTrace, label: str = "") -> OccupationBreakdown:
+    """Compute the paper's three-way breakdown at the point of peak occupancy."""
+    trace.require_events()
+    live_by_category: Dict[MemoryCategory, int] = {}
+    live_total = 0
+    peak_total = -1
+    peak_time = 0
+    peak_by_category: Dict[MemoryCategory, int] = {}
+    running_peak_by_category: Dict[MemoryCategory, int] = {}
+
+    for event in trace.events:
+        if event.kind is MemoryEventKind.MALLOC:
+            live_by_category[event.category] = live_by_category.get(event.category, 0) + event.size
+            live_total += event.size
+        elif event.kind is MemoryEventKind.FREE:
+            live_by_category[event.category] = live_by_category.get(event.category, 0) - event.size
+            live_total -= event.size
+        else:
+            continue
+        for category, size in live_by_category.items():
+            if size > running_peak_by_category.get(category, 0):
+                running_peak_by_category[category] = size
+        if live_total > peak_total:
+            peak_total = live_total
+            peak_time = event.timestamp_ns
+            peak_by_category = dict(live_by_category)
+
+    bucket_bytes: Dict[str, int] = {bucket: 0 for bucket in PAPER_BUCKETS}
+    category_bytes: Dict[str, int] = {}
+    for category, size in peak_by_category.items():
+        if size <= 0:
+            continue
+        category_bytes[category.value] = size
+        bucket_bytes[category.paper_bucket()] += size
+
+    return OccupationBreakdown(
+        label=label,
+        peak_time_ns=peak_time,
+        total_bytes=max(0, peak_total),
+        bucket_bytes=bucket_bytes,
+        category_bytes=category_bytes,
+        category_peak_bytes={category.value: size
+                             for category, size in running_peak_by_category.items() if size > 0},
+    )
+
+
+@dataclass
+class BreakdownSeries:
+    """A family of breakdowns indexed by a swept parameter (batch size, depth, ...)."""
+
+    parameter_name: str
+    entries: List[Tuple[object, OccupationBreakdown]] = field(default_factory=list)
+
+    def add(self, parameter_value: object, breakdown: OccupationBreakdown) -> None:
+        """Append one sweep point."""
+        self.entries.append((parameter_value, breakdown))
+
+    def fractions_table(self) -> List[Dict[str, object]]:
+        """Rows of ``{parameter, total_bytes, <bucket fractions>}`` for reporting."""
+        rows = []
+        for parameter_value, breakdown in self.entries:
+            row: Dict[str, object] = {
+                self.parameter_name: parameter_value,
+                "total_bytes": breakdown.total_bytes,
+            }
+            row.update({bucket: breakdown.fraction(bucket) for bucket in PAPER_BUCKETS})
+            rows.append(row)
+        return rows
+
+    def trend(self, bucket: str) -> List[float]:
+        """The bucket's fraction across the sweep, in sweep order."""
+        return [breakdown.fraction(bucket) for _, breakdown in self.entries]
+
+    def is_monotonic_increasing(self, bucket: str, tolerance: float = 0.02) -> bool:
+        """Whether the bucket's share grows (within tolerance) along the sweep."""
+        values = self.trend(bucket)
+        return all(b >= a - tolerance for a, b in zip(values, values[1:]))
+
+    def is_monotonic_decreasing(self, bucket: str, tolerance: float = 0.02) -> bool:
+        """Whether the bucket's share shrinks (within tolerance) along the sweep."""
+        values = self.trend(bucket)
+        return all(b <= a + tolerance for a, b in zip(values, values[1:]))
+
+
+def model_state_bytes(model, optimizer=None) -> Dict[str, int]:
+    """Static (trace-free) accounting of a model's persistent device bytes.
+
+    Returns parameter, gradient (same size as parameters once allocated),
+    buffer and optimizer-state byte counts — the "parameters" side of the
+    breakdown that does not depend on batch size.
+    """
+    parameter_bytes = model.parameter_bytes()
+    buffer_bytes = model.buffer_bytes()
+    optimizer_bytes = optimizer.state_bytes() if optimizer is not None else 0
+    return {
+        "parameters": parameter_bytes,
+        "gradients": parameter_bytes,
+        "buffers": buffer_bytes,
+        "optimizer_state": optimizer_bytes,
+    }

@@ -1,0 +1,163 @@
+"""Gantt-chart data extraction (Figure 2).
+
+Figure 2 of the paper draws one rectangle per device memory block lifetime:
+the rectangle's horizontal extent is the block's allocation-to-free span and
+its height is the block's size; stacking rectangles by address shows live
+ranges overlapping and the gaps between them (device memory fragments).
+
+This module extracts that data from a trace; the ASCII rendering lives in
+:mod:`repro.viz.ascii`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..units import ns_to_ms
+from .events import BlockLifetime, MemoryCategory
+from .trace import MemoryTrace
+
+
+@dataclass(frozen=True)
+class GanttRectangle:
+    """One rectangle of the Gantt chart: a block lifetime with its size."""
+
+    block_id: int
+    tag: str
+    category: MemoryCategory
+    address: int
+    size: int
+    start_ns: int
+    end_ns: int
+    iteration: int
+
+    @property
+    def duration_ns(self) -> int:
+        """Lifetime duration (the rectangle's width)."""
+        return self.end_ns - self.start_ns
+
+    def overlaps_time(self, other: "GanttRectangle") -> bool:
+        """Whether two lifetimes overlap in time (live-range overlap)."""
+        return self.start_ns < other.end_ns and other.start_ns < self.end_ns
+
+    def to_dict(self) -> Dict[str, object]:
+        """Serialize for figure-data export."""
+        return {
+            "block_id": self.block_id,
+            "tag": self.tag,
+            "category": self.category.value,
+            "address": self.address,
+            "size": self.size,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+            "duration_ns": self.duration_ns,
+            "iteration": self.iteration,
+        }
+
+
+@dataclass
+class GanttChart:
+    """The full set of lifetime rectangles plus iteration boundaries."""
+
+    rectangles: List[GanttRectangle]
+    iteration_bounds: List[tuple]     # (index, start_ns, end_ns)
+    end_ns: int
+
+    def __len__(self) -> int:
+        return len(self.rectangles)
+
+    def rectangles_in_iteration(self, iteration: int) -> List[GanttRectangle]:
+        """Rectangles whose lifetime started during ``iteration``."""
+        return [rect for rect in self.rectangles if rect.iteration == iteration]
+
+    def rectangles_overlapping(self, start_ns: int, end_ns: int) -> List[GanttRectangle]:
+        """Rectangles alive at any point inside ``[start_ns, end_ns]``."""
+        return [rect for rect in self.rectangles
+                if rect.start_ns < end_ns and start_ns < rect.end_ns]
+
+    def max_concurrent_bytes(self) -> int:
+        """Peak sum of sizes of simultaneously live rectangles."""
+        points = []
+        for rect in self.rectangles:
+            points.append((rect.start_ns, rect.size))
+            points.append((rect.end_ns, -rect.size))
+        points.sort()
+        live = peak = 0
+        for _, delta in points:
+            live += delta
+            peak = max(peak, live)
+        return peak
+
+    def lifetime_stats(self) -> Dict[str, float]:
+        """Mean / max lifetime duration and size over all rectangles."""
+        if not self.rectangles:
+            return {"count": 0, "mean_duration_ms": 0.0, "max_duration_ms": 0.0,
+                    "mean_size": 0.0, "max_size": 0.0}
+        durations = [rect.duration_ns for rect in self.rectangles]
+        sizes = [rect.size for rect in self.rectangles]
+        return {
+            "count": len(self.rectangles),
+            "mean_duration_ms": ns_to_ms(sum(durations) / len(durations)),
+            "max_duration_ms": ns_to_ms(max(durations)),
+            "mean_size": sum(sizes) / len(sizes),
+            "max_size": max(sizes),
+        }
+
+
+def build_gantt_chart(trace: MemoryTrace, max_iterations: Optional[int] = None) -> GanttChart:
+    """Build the Gantt chart of a trace, optionally limited to the first iterations.
+
+    Blocks still live at the end of the trace (parameters, gradients,
+    optimizer state) are closed at the trace end so they draw as full-width
+    rectangles, exactly as in the paper's figure.
+    """
+    end_ns = max(trace.end_ns, trace.events[-1].timestamp_ns if trace.events else 0)
+    bounds = [(mark.index, mark.start_ns, mark.end_ns if mark.end_ns is not None else end_ns)
+              for mark in trace.iteration_marks]
+    if max_iterations is not None:
+        bounds = [entry for entry in bounds if entry[0] < max_iterations]
+        if bounds:
+            end_ns = max(entry[2] for entry in bounds)
+
+    rectangles: List[GanttRectangle] = []
+    for lifetime in trace.lifetimes:
+        if max_iterations is not None and lifetime.iteration >= max_iterations:
+            continue
+        start = lifetime.malloc_ns
+        end = lifetime.free_ns if lifetime.free_ns is not None else end_ns
+        if max_iterations is not None:
+            end = min(end, end_ns)
+        rectangles.append(GanttRectangle(
+            block_id=lifetime.block_id,
+            tag=lifetime.tag,
+            category=lifetime.category,
+            address=lifetime.address,
+            size=lifetime.size,
+            start_ns=start,
+            end_ns=max(start, end),
+            iteration=lifetime.iteration,
+        ))
+    rectangles.sort(key=lambda rect: (rect.start_ns, rect.address))
+    return GanttChart(rectangles=rectangles, iteration_bounds=bounds, end_ns=end_ns)
+
+
+def address_gaps(chart: GanttChart, at_time_ns: int) -> List[tuple]:
+    """Free gaps between live blocks along the address axis at ``at_time_ns``.
+
+    The paper reads fragmentation off the blank space between rectangles along
+    the y-axis; this returns ``(gap_start_address, gap_size)`` pairs between
+    consecutive live blocks.
+    """
+    live = sorted(
+        (rect for rect in chart.rectangles
+         if rect.start_ns <= at_time_ns < rect.end_ns),
+        key=lambda rect: rect.address,
+    )
+    gaps = []
+    for current, following in zip(live, live[1:]):
+        gap_start = current.address + current.size
+        gap = following.address - gap_start
+        if gap > 0:
+            gaps.append((gap_start, gap))
+    return gaps

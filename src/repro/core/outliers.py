@@ -1,0 +1,118 @@
+"""Outlier memory behaviors (Figure 4).
+
+Most ATIs are tiny, but the paper highlights a handful of behaviors whose ATI
+exceeds 0.8 s *and* whose block is larger than 600 MB (the red-marked example
+is 840 211 us on a 1200 MB block).  Those outliers are the only behaviors for
+which host↔device swapping can hide its transfer cost, so they are "the focus
+of attention" for memory-pressure reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..units import MIB, format_bytes, format_duration, s_to_ns
+from .ati import AccessInterval
+
+#: The paper's outlier thresholds.
+DEFAULT_ATI_THRESHOLD_NS = s_to_ns(0.8)
+DEFAULT_SIZE_THRESHOLD_BYTES = 600 * MIB
+
+
+@dataclass
+class OutlierReport:
+    """Result of the outlier analysis over a set of access intervals."""
+
+    ati_threshold_ns: int
+    size_threshold_bytes: int
+    outliers: List[AccessInterval]
+    total_intervals: int
+
+    @property
+    def count(self) -> int:
+        """Number of outlier behaviors."""
+        return len(self.outliers)
+
+    @property
+    def fraction(self) -> float:
+        """Outliers as a fraction of all behaviors."""
+        if self.total_intervals == 0:
+            return 0.0
+        return self.count / self.total_intervals
+
+    @property
+    def largest(self) -> Optional[AccessInterval]:
+        """The outlier with the largest (ATI x size) product — Figure 4's red mark."""
+        if not self.outliers:
+            return None
+        return max(self.outliers, key=lambda interval: interval.interval_ns * interval.size)
+
+    def outlier_bytes(self) -> int:
+        """Total bytes of the distinct blocks involved in outlier behaviors."""
+        seen: Dict[int, int] = {}
+        for interval in self.outliers:
+            seen[interval.block_id] = max(seen.get(interval.block_id, 0), interval.size)
+        return sum(seen.values())
+
+    def describe(self) -> List[str]:
+        """Human-readable lines describing each outlier (largest first)."""
+        ordered = sorted(self.outliers, key=lambda i: i.interval_ns * i.size, reverse=True)
+        return [
+            (f"block {interval.block_id} ({interval.tag or interval.category.value}): "
+             f"ATI {format_duration(interval.interval_ns)}, "
+             f"size {format_bytes(interval.size)}")
+            for interval in ordered
+        ]
+
+    def to_dict(self) -> Dict[str, object]:
+        """Serialize for figure-data export."""
+        return {
+            "ati_threshold_ns": self.ati_threshold_ns,
+            "size_threshold_bytes": self.size_threshold_bytes,
+            "total_intervals": self.total_intervals,
+            "count": self.count,
+            "fraction": self.fraction,
+            "outliers": [interval.to_dict() for interval in self.outliers],
+        }
+
+
+def find_outliers(intervals: Sequence[AccessInterval],
+                  ati_threshold_ns: int = DEFAULT_ATI_THRESHOLD_NS,
+                  size_threshold_bytes: int = DEFAULT_SIZE_THRESHOLD_BYTES) -> OutlierReport:
+    """Select behaviors whose ATI and block size both exceed the thresholds."""
+    outliers = [interval for interval in intervals
+                if interval.interval_ns >= ati_threshold_ns
+                and interval.size >= size_threshold_bytes]
+    return OutlierReport(
+        ati_threshold_ns=ati_threshold_ns,
+        size_threshold_bytes=size_threshold_bytes,
+        outliers=outliers,
+        total_intervals=len(intervals),
+    )
+
+
+def pairwise_ati_size(intervals: Sequence[AccessInterval]) -> List[Dict[str, object]]:
+    """Figure 4's raw series: one ``{index, ati_us, size}`` row per behavior."""
+    return [
+        {
+            "behavior_index": index,
+            "block_id": interval.block_id,
+            "ati_us": interval.interval_us,
+            "size_bytes": interval.size,
+            "category": interval.category.value,
+        }
+        for index, interval in enumerate(intervals)
+    ]
+
+
+def top_swap_candidates(intervals: Sequence[AccessInterval], top_k: int = 10,
+                        min_size_bytes: int = 1 * MIB) -> List[AccessInterval]:
+    """The ``top_k`` behaviors ranked by (ATI x size), ignoring tiny blocks.
+
+    This is the ranking the paper's planned "automatic cost model" would use
+    to sift out the behaviors worth swapping.
+    """
+    candidates = [interval for interval in intervals if interval.size >= min_size_bytes]
+    candidates.sort(key=lambda interval: interval.interval_ns * interval.size, reverse=True)
+    return candidates[:top_k]

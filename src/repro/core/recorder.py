@@ -1,0 +1,154 @@
+"""Trace recorder: the instrumentation the paper adds to the runtime.
+
+:class:`TraceRecorder` implements the device's
+:class:`~repro.device.hooks.MemoryEventListener` interface and turns every
+allocator/storage notification into a timestamped :class:`MemoryEvent`.
+It also tracks block lifetimes (for the Gantt chart of Figure 2) and
+iteration boundaries (for the iterative-pattern analysis).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..device.clock import DeviceClock
+from ..device.hooks import MemoryEventListener
+from .events import BlockLifetime, IterationMark, MemoryCategory, MemoryEvent, MemoryEventKind
+from .trace import MemoryTrace
+
+
+class TraceRecorder(MemoryEventListener):
+    """Records malloc/free/read/write behaviors with simulated timestamps."""
+
+    def __init__(self, clock: DeviceClock, metadata: Optional[dict] = None):
+        self.clock = clock
+        self.metadata = dict(metadata or {})
+        self.events: List[MemoryEvent] = []
+        self.lifetimes: List[BlockLifetime] = []
+        self.iteration_marks: List[IterationMark] = []
+        self._open_lifetimes: Dict[int, BlockLifetime] = {}
+        self._current_iteration = -1
+        self._next_event_id = 0
+        self.enabled = True
+
+    # -- iteration bookkeeping ------------------------------------------------------
+
+    @property
+    def current_iteration(self) -> int:
+        """Index of the iteration currently being recorded (-1 outside any)."""
+        return self._current_iteration
+
+    def begin_iteration(self, index: int) -> None:
+        """Mark the start of training iteration ``index``."""
+        self._current_iteration = index
+        self.iteration_marks.append(IterationMark(index=index, start_ns=self.clock.now_ns))
+
+    def end_iteration(self, index: int) -> None:
+        """Mark the end of training iteration ``index``."""
+        for mark in reversed(self.iteration_marks):
+            if mark.index == index and mark.end_ns is None:
+                mark.end_ns = self.clock.now_ns
+                break
+        self._current_iteration = -1
+
+    # -- event capture ----------------------------------------------------------------
+
+    def _append(self, kind: MemoryEventKind, block_id: int, address: int, size: int,
+                category: MemoryCategory, tag: str, op: str = "") -> MemoryEvent:
+        event = MemoryEvent(
+            event_id=self._next_event_id,
+            kind=kind,
+            timestamp_ns=self.clock.now_ns,
+            block_id=block_id,
+            address=address,
+            size=size,
+            category=category,
+            tag=tag,
+            iteration=self._current_iteration,
+            op=op,
+        )
+        self._next_event_id += 1
+        self.events.append(event)
+        return event
+
+    def on_malloc(self, block, requested_size: int) -> None:
+        if not self.enabled:
+            return
+        self._append(MemoryEventKind.MALLOC, block.block_id, block.address, block.size,
+                     block.category, block.tag)
+        lifetime = BlockLifetime(
+            block_id=block.block_id,
+            address=block.address,
+            size=block.size,
+            category=block.category,
+            tag=block.tag,
+            malloc_ns=self.clock.now_ns,
+            iteration=self._current_iteration,
+        )
+        self._open_lifetimes[block.block_id] = lifetime
+        self.lifetimes.append(lifetime)
+
+    def on_free(self, block) -> None:
+        if not self.enabled:
+            return
+        self._append(MemoryEventKind.FREE, block.block_id, block.address, block.size,
+                     block.category, block.tag)
+        lifetime = self._open_lifetimes.pop(block.block_id, None)
+        if lifetime is not None:
+            lifetime.free_ns = self.clock.now_ns
+
+    def on_read(self, block, nbytes: int, op: str) -> None:
+        if not self.enabled:
+            return
+        self._append(MemoryEventKind.READ, block.block_id, block.address, block.size,
+                     block.category, block.tag, op=op)
+        self._bump_access(block.block_id)
+
+    def on_write(self, block, nbytes: int, op: str) -> None:
+        if not self.enabled:
+            return
+        self._append(MemoryEventKind.WRITE, block.block_id, block.address, block.size,
+                     block.category, block.tag, op=op)
+        self._bump_access(block.block_id)
+
+    def on_segment_alloc(self, segment) -> None:
+        if not self.enabled:
+            return
+        self._append(MemoryEventKind.SEGMENT_ALLOC, -segment.segment_id, segment.address,
+                     segment.size, MemoryCategory.UNKNOWN, f"segment:{segment.pool}")
+
+    def on_segment_free(self, segment) -> None:
+        if not self.enabled:
+            return
+        self._append(MemoryEventKind.SEGMENT_FREE, -segment.segment_id, segment.address,
+                     segment.size, MemoryCategory.UNKNOWN, f"segment:{segment.pool}")
+
+    def _bump_access(self, block_id: int) -> None:
+        lifetime = self._open_lifetimes.get(block_id)
+        if lifetime is not None:
+            lifetime.access_count += 1
+
+    # -- pausing ----------------------------------------------------------------------
+
+    def pause(self) -> None:
+        """Temporarily stop recording (e.g. during warm-up iterations)."""
+        self.enabled = False
+
+    def resume(self) -> None:
+        """Resume recording after :meth:`pause`."""
+        self.enabled = True
+
+    # -- trace construction --------------------------------------------------------------
+
+    def to_trace(self) -> MemoryTrace:
+        """Freeze the recorded behaviors into an immutable :class:`MemoryTrace`."""
+        return MemoryTrace(
+            events=list(self.events),
+            lifetimes=list(self.lifetimes),
+            iteration_marks=list(self.iteration_marks),
+            metadata=dict(self.metadata),
+            end_ns=self.clock.now_ns,
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)

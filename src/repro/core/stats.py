@@ -1,0 +1,165 @@
+"""Distribution statistics used by the figures: CDFs, histograms and violin data.
+
+Figure 3a of the paper is an empirical CDF of the ATIs; Figure 3b is a violin
+plot (box-plot quartiles plus a kernel-density trace).  These helpers compute
+the underlying data so that benchmarks and examples can print the same
+numbers the figures encode, without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class CdfResult:
+    """An empirical cumulative distribution function."""
+
+    values: np.ndarray          # sorted sample values
+    probabilities: np.ndarray   # cumulative probability at each value
+
+    def quantile(self, q: float) -> float:
+        """Value below which a fraction ``q`` of the samples fall."""
+        if self.values.size == 0:
+            return 0.0
+        return float(np.percentile(self.values, 100.0 * q))
+
+    def fraction_below(self, threshold: float) -> float:
+        """Fraction of samples at or below ``threshold``."""
+        if self.values.size == 0:
+            return 0.0
+        return float(np.searchsorted(self.values, threshold, side="right") / self.values.size)
+
+    def sample_points(self, num_points: int = 50) -> List[Tuple[float, float]]:
+        """Evenly spaced ``(value, cumulative_probability)`` points for plotting."""
+        if self.values.size == 0:
+            return []
+        indices = np.linspace(0, self.values.size - 1, num=min(num_points, self.values.size))
+        return [(float(self.values[int(i)]), float(self.probabilities[int(i)]))
+                for i in indices]
+
+
+def empirical_cdf(samples: Sequence[float]) -> CdfResult:
+    """Build the empirical CDF of a sample set."""
+    array = np.asarray(list(samples), dtype=np.float64)
+    if array.size == 0:
+        return CdfResult(values=np.array([]), probabilities=np.array([]))
+    sorted_values = np.sort(array)
+    probabilities = np.arange(1, sorted_values.size + 1) / sorted_values.size
+    return CdfResult(values=sorted_values, probabilities=probabilities)
+
+
+@dataclass
+class Histogram:
+    """A fixed-bin histogram."""
+
+    bin_edges: np.ndarray
+    counts: np.ndarray
+
+    @property
+    def total(self) -> int:
+        """Total number of samples."""
+        return int(self.counts.sum())
+
+    def densities(self) -> np.ndarray:
+        """Counts normalized to sum to one."""
+        total = self.total
+        if total == 0:
+            return np.zeros_like(self.counts, dtype=np.float64)
+        return self.counts / total
+
+
+def histogram(samples: Sequence[float], bins: int = 50,
+              value_range: Optional[Tuple[float, float]] = None) -> Histogram:
+    """Histogram a sample set into ``bins`` equal-width bins."""
+    array = np.asarray(list(samples), dtype=np.float64)
+    if array.size == 0:
+        edges = np.linspace(0.0, 1.0, bins + 1)
+        return Histogram(bin_edges=edges, counts=np.zeros(bins, dtype=np.int64))
+    counts, edges = np.histogram(array, bins=bins, range=value_range)
+    return Histogram(bin_edges=edges, counts=counts)
+
+
+@dataclass
+class ViolinStats:
+    """The data a violin plot encodes: quartiles, whiskers and a density trace."""
+
+    label: str
+    count: int
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    density_x: np.ndarray = field(default_factory=lambda: np.array([]))
+    density_y: np.ndarray = field(default_factory=lambda: np.array([]))
+
+    def to_dict(self) -> Dict[str, object]:
+        """Serialize the scalar part of the violin statistics."""
+        return {
+            "label": self.label,
+            "count": self.count,
+            "min": self.minimum,
+            "q1": self.q1,
+            "median": self.median,
+            "q3": self.q3,
+            "max": self.maximum,
+        }
+
+    @property
+    def iqr(self) -> float:
+        """Inter-quartile range."""
+        return self.q3 - self.q1
+
+
+def gaussian_kde_trace(samples: np.ndarray, num_points: int = 100) -> Tuple[np.ndarray, np.ndarray]:
+    """A simple Gaussian kernel-density estimate (Scott's rule bandwidth)."""
+    if samples.size == 0:
+        return np.array([]), np.array([])
+    if samples.size == 1 or float(np.std(samples)) == 0.0:
+        # Degenerate distribution: a single spike.
+        x = np.array([float(samples[0])])
+        return x, np.array([1.0])
+    std = float(np.std(samples, ddof=1))
+    bandwidth = 1.06 * std * samples.size ** (-1.0 / 5.0)
+    bandwidth = max(bandwidth, 1e-9)
+    grid = np.linspace(float(samples.min()), float(samples.max()), num_points)
+    diffs = (grid[:, None] - samples[None, :]) / bandwidth
+    density = np.exp(-0.5 * diffs ** 2).sum(axis=1) / (samples.size * bandwidth * np.sqrt(2 * np.pi))
+    return grid, density
+
+
+def violin_stats(samples: Sequence[float], label: str = "",
+                 density_points: int = 100) -> ViolinStats:
+    """Compute the violin-plot statistics of a sample set."""
+    array = np.asarray(list(samples), dtype=np.float64)
+    if array.size == 0:
+        return ViolinStats(label=label, count=0, minimum=0.0, q1=0.0, median=0.0,
+                           q3=0.0, maximum=0.0)
+    density_x, density_y = gaussian_kde_trace(array, num_points=density_points)
+    return ViolinStats(
+        label=label,
+        count=int(array.size),
+        minimum=float(array.min()),
+        q1=float(np.percentile(array, 25)),
+        median=float(np.percentile(array, 50)),
+        q3=float(np.percentile(array, 75)),
+        maximum=float(array.max()),
+        density_x=density_x,
+        density_y=density_y,
+    )
+
+
+def concentration_ratio(samples: Sequence[float], low: float, high: float) -> float:
+    """Fraction of samples falling inside ``[low, high]``.
+
+    The paper observes that most ATIs fall in the 10-25 us band; this helper
+    quantifies that concentration for arbitrary bands.
+    """
+    array = np.asarray(list(samples), dtype=np.float64)
+    if array.size == 0:
+        return 0.0
+    return float(np.mean((array >= low) & (array <= high)))

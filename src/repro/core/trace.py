@@ -1,0 +1,216 @@
+"""The memory trace container and its persistence formats.
+
+A :class:`MemoryTrace` is the immutable result of a profiled training run:
+the full behavior stream, the block lifetimes and the iteration boundaries.
+Every analysis in :mod:`repro.core` consumes this object, and it can be saved
+to / loaded from JSON (complete) or exported to CSV (events only, convenient
+for external plotting).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from ..errors import EmptyTraceError, TraceFormatError
+from .events import BlockLifetime, IterationMark, MemoryCategory, MemoryEvent, MemoryEventKind
+
+PathLike = Union[str, Path]
+
+#: Current on-disk format version.
+TRACE_FORMAT_VERSION = 1
+
+
+@dataclass
+class MemoryTrace:
+    """All memory behaviors recorded during one profiled run."""
+
+    events: List[MemoryEvent] = field(default_factory=list)
+    lifetimes: List[BlockLifetime] = field(default_factory=list)
+    iteration_marks: List[IterationMark] = field(default_factory=list)
+    metadata: Dict[str, object] = field(default_factory=dict)
+    end_ns: int = 0
+
+    # -- basic accessors ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether no event was recorded."""
+        return not self.events
+
+    def require_events(self) -> None:
+        """Raise :class:`~repro.errors.EmptyTraceError` if the trace is empty."""
+        if self.is_empty:
+            raise EmptyTraceError("the memory trace contains no events")
+
+    @property
+    def start_ns(self) -> int:
+        """Timestamp of the first event (0 for an empty trace)."""
+        return self.events[0].timestamp_ns if self.events else 0
+
+    @property
+    def duration_ns(self) -> int:
+        """Span from the first event to the recorded end of the run."""
+        if not self.events:
+            return 0
+        end = max(self.end_ns, self.events[-1].timestamp_ns)
+        return end - self.start_ns
+
+    def block_behaviors(self) -> List[MemoryEvent]:
+        """Only the paper's four block-level behaviors (no segment events)."""
+        return [event for event in self.events if event.kind.is_block_behavior]
+
+    def access_events(self) -> List[MemoryEvent]:
+        """Only read/write behaviors."""
+        return [event for event in self.events if event.kind.is_access]
+
+    def events_by_kind(self, kind: MemoryEventKind) -> List[MemoryEvent]:
+        """Events of one behavior kind."""
+        return [event for event in self.events if event.kind is kind]
+
+    def events_for_block(self, block_id: int) -> List[MemoryEvent]:
+        """All events of one device memory block, in time order."""
+        return [event for event in self.events if event.block_id == block_id]
+
+    def block_ids(self) -> List[int]:
+        """Identities of all blocks that appear in the trace (sorted)."""
+        return sorted({event.block_id for event in self.events if event.block_id > 0})
+
+    def events_by_block(self) -> Dict[int, List[MemoryEvent]]:
+        """Group block-level behaviors by block id (insertion-ordered within a block)."""
+        grouped: Dict[int, List[MemoryEvent]] = {}
+        for event in self.events:
+            if event.block_id <= 0 or not event.kind.is_block_behavior:
+                continue
+            grouped.setdefault(event.block_id, []).append(event)
+        return grouped
+
+    def events_in_iteration(self, iteration: int) -> List[MemoryEvent]:
+        """All events attributed to one training iteration."""
+        return [event for event in self.events if event.iteration == iteration]
+
+    def iterations(self) -> List[int]:
+        """Indices of all iterations that have a recorded mark."""
+        return sorted(mark.index for mark in self.iteration_marks)
+
+    def iteration_mark(self, index: int) -> Optional[IterationMark]:
+        """The mark of iteration ``index`` (None if absent)."""
+        for mark in self.iteration_marks:
+            if mark.index == index:
+                return mark
+        return None
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        """Number of events of each kind."""
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind.value] = counts.get(event.kind.value, 0) + 1
+        return counts
+
+    def counts_by_category(self) -> Dict[str, int]:
+        """Number of block-level behaviors per memory category."""
+        counts: Dict[str, int] = {}
+        for event in self.block_behaviors():
+            counts[event.category.value] = counts.get(event.category.value, 0) + 1
+        return counts
+
+    def live_bytes_timeline(self) -> List[tuple]:
+        """``(timestamp_ns, live_bytes)`` after every malloc/free event."""
+        live = 0
+        timeline = []
+        for event in self.events:
+            if event.kind is MemoryEventKind.MALLOC:
+                live += event.size
+            elif event.kind is MemoryEventKind.FREE:
+                live -= event.size
+            else:
+                continue
+            timeline.append((event.timestamp_ns, live))
+        return timeline
+
+    def peak_live_bytes(self) -> int:
+        """Highest number of simultaneously allocated bytes."""
+        timeline = self.live_bytes_timeline()
+        return max((live for _, live in timeline), default=0)
+
+    # -- persistence -----------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """Serialize the complete trace to a JSON-friendly dictionary."""
+        return {
+            "format_version": TRACE_FORMAT_VERSION,
+            "metadata": self.metadata,
+            "end_ns": self.end_ns,
+            "events": [event.to_dict() for event in self.events],
+            "lifetimes": [lifetime.to_dict() for lifetime in self.lifetimes],
+            "iteration_marks": [mark.to_dict() for mark in self.iteration_marks],
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, object]) -> "MemoryTrace":
+        """Reconstruct a trace from :meth:`to_dict` output."""
+        try:
+            version = int(data.get("format_version", -1))
+            if version != TRACE_FORMAT_VERSION:
+                raise TraceFormatError(f"unsupported trace format version {version}")
+            return MemoryTrace(
+                events=[MemoryEvent.from_dict(entry) for entry in data.get("events", [])],
+                lifetimes=[BlockLifetime.from_dict(entry)
+                           for entry in data.get("lifetimes", [])],
+                iteration_marks=[IterationMark.from_dict(entry)
+                                 for entry in data.get("iteration_marks", [])],
+                metadata=dict(data.get("metadata", {})),
+                end_ns=int(data.get("end_ns", 0)),
+            )
+        except (KeyError, ValueError, TypeError) as error:
+            raise TraceFormatError(f"malformed trace data: {error}") from error
+
+    def save_json(self, path: PathLike) -> Path:
+        """Write the trace to a JSON file and return the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle)
+        return path
+
+    @staticmethod
+    def load_json(path: PathLike) -> "MemoryTrace":
+        """Load a trace previously written by :meth:`save_json`."""
+        with open(Path(path), "r", encoding="utf-8") as handle:
+            try:
+                data = json.load(handle)
+            except json.JSONDecodeError as error:
+                raise TraceFormatError(f"invalid trace JSON: {error}") from error
+        return MemoryTrace.from_dict(data)
+
+    def export_events_csv(self, path: PathLike) -> Path:
+        """Write the event stream to CSV (one row per behavior)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fields = ["event_id", "kind", "timestamp_ns", "block_id", "address", "size",
+                  "category", "tag", "iteration", "op"]
+        with open(path, "w", newline="", encoding="utf-8") as handle:
+            writer = csv.DictWriter(handle, fieldnames=fields)
+            writer.writeheader()
+            for event in self.events:
+                writer.writerow(event.to_dict())
+        return path
+
+    # -- misc --------------------------------------------------------------------------------
+
+    def summary(self) -> Dict[str, object]:
+        """A compact dictionary summarizing the trace (used by reports and tests)."""
+        return {
+            "num_events": len(self.events),
+            "num_blocks": len(self.block_ids()),
+            "num_iterations": len(self.iteration_marks),
+            "duration_ns": self.duration_ns,
+            "peak_live_bytes": self.peak_live_bytes(),
+            "counts_by_kind": self.counts_by_kind(),
+        }

@@ -1,0 +1,28 @@
+"""Synthetic datasets and the batch loader with its host-latency model."""
+
+from .datasets import (
+    DATASET_PRESETS,
+    DatasetSpec,
+    SyntheticCIFAR10,
+    SyntheticCIFAR100,
+    SyntheticDataset,
+    SyntheticImageNet,
+    SyntheticMNIST,
+    TwoClusterDataset,
+    build_dataset,
+)
+from .loader import DataLoader, HostLatencyModel
+
+__all__ = [
+    "DATASET_PRESETS",
+    "DataLoader",
+    "DatasetSpec",
+    "HostLatencyModel",
+    "SyntheticCIFAR10",
+    "SyntheticCIFAR100",
+    "SyntheticDataset",
+    "SyntheticImageNet",
+    "SyntheticMNIST",
+    "TwoClusterDataset",
+    "build_dataset",
+]

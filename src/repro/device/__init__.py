@@ -1,0 +1,88 @@
+"""Simulated DNN accelerator: clock, memory system, allocators, DMA and timing.
+
+This package replaces the Nvidia Titan X (Pascal) + CUDA runtime used by the
+paper with a deterministic software model whose memory system is instrumented
+exactly the way the paper instruments PyTorch's allocators.
+"""
+
+from .allocator import (
+    ALLOCATOR_CLASSES,
+    BaseAllocator,
+    BestFitAllocator,
+    BumpAllocator,
+    CachingAllocator,
+    LARGE_SEGMENT_SIZE,
+    MIN_BLOCK_SIZE,
+    SMALL_ALLOCATION_LIMIT,
+    SMALL_SEGMENT_SIZE,
+    make_allocator,
+    round_block_size,
+    segment_size_for,
+)
+from .bandwidth import BandwidthMeasurement, BandwidthReport, BandwidthTest
+from .clock import DeviceClock
+from .device import Device, EXECUTION_MODES
+from .dma import CopyRecord, DmaEngine
+from .hooks import CompositeListener, CountingListener, MemoryEventListener, NullListener
+from .memory import AllocatorStats, Block, Segment
+from .spec import (
+    DEVICE_PRESETS,
+    DeviceSpec,
+    ampere_a100_40gb,
+    get_device_spec,
+    small_test_device,
+    titan_x_pascal,
+)
+from .stream import Stream, StreamOp
+from .timing import (
+    KernelCost,
+    KernelTimingModel,
+    conv2d_cost,
+    elementwise_cost,
+    matmul_cost,
+    reduction_cost,
+)
+
+__all__ = [
+    "ALLOCATOR_CLASSES",
+    "AllocatorStats",
+    "BandwidthMeasurement",
+    "BandwidthReport",
+    "BandwidthTest",
+    "BaseAllocator",
+    "BestFitAllocator",
+    "Block",
+    "BumpAllocator",
+    "CachingAllocator",
+    "CompositeListener",
+    "CopyRecord",
+    "CountingListener",
+    "DEVICE_PRESETS",
+    "Device",
+    "DeviceClock",
+    "DeviceSpec",
+    "DmaEngine",
+    "EXECUTION_MODES",
+    "KernelCost",
+    "KernelTimingModel",
+    "LARGE_SEGMENT_SIZE",
+    "MIN_BLOCK_SIZE",
+    "MemoryEventListener",
+    "NullListener",
+    "SMALL_ALLOCATION_LIMIT",
+    "SMALL_SEGMENT_SIZE",
+    "Segment",
+    "Stream",
+    "StreamOp",
+    "ampere_a100_40gb",
+    "conv2d_cost",
+    "elementwise_cost",
+    "get_device_spec",
+    "make_allocator",
+    "matmul_cost",
+    "reduction_cost",
+    "round_block_size",
+    "segment_size_for",
+    "small_test_device",
+    "titan_x_pascal",
+]

@@ -1,0 +1,190 @@
+"""The simulated accelerator facade.
+
+:class:`Device` ties together the pieces a training run needs:
+
+* a deterministic :class:`~repro.device.clock.DeviceClock`;
+* an instrumentable allocator (caching by default);
+* a roofline :class:`~repro.device.timing.KernelTimingModel`;
+* a :class:`~repro.device.dma.DmaEngine` for host↔device transfers;
+* a compute :class:`~repro.device.stream.Stream`;
+* a :class:`~repro.device.hooks.CompositeListener` that profilers attach to.
+
+The tensor library calls :meth:`Device.allocate` / :meth:`Device.free` for
+storage management, :meth:`Device.notify_read` / :meth:`Device.notify_write`
+when kernels touch storage, and :meth:`Device.run_kernel` to account for the
+simulated execution time of each operator.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.events import MemoryCategory
+from ..errors import ConfigurationError
+from .allocator import BaseAllocator, make_allocator
+from .clock import DeviceClock
+from .dma import DmaEngine
+from .hooks import CompositeListener, MemoryEventListener
+from .memory import Block
+from .spec import DeviceSpec, titan_x_pascal
+from .stream import Stream
+from .timing import KernelCost, KernelTimingModel
+
+#: Execution modes supported by the tensor library on this device.
+EXECUTION_MODES = ("eager", "virtual")
+
+
+class Device:
+    """A simulated DNN accelerator with an instrumented memory system.
+
+    Parameters
+    ----------
+    spec:
+        Hardware description; defaults to the paper's Titan X (Pascal).
+    allocator:
+        Registry name of the allocator policy (``"caching"``, ``"best_fit"``
+        or ``"bump"``).
+    execution_mode:
+        ``"eager"`` runs every kernel numerically on NumPy buffers (correct
+        values, practical only for small models); ``"virtual"`` skips the
+        arithmetic but performs identical allocations, accesses and timing —
+        memory behavior is shape-dependent, not value-dependent, so traces
+        are the same.
+    compute_efficiency / bandwidth_efficiency / host_dispatch_overhead_ns:
+        Forwarded to :class:`~repro.device.timing.KernelTimingModel`.
+    """
+
+    def __init__(
+        self,
+        spec: Optional[DeviceSpec] = None,
+        allocator: str = "caching",
+        execution_mode: str = "eager",
+        compute_efficiency: float = 0.65,
+        bandwidth_efficiency: float = 0.75,
+        host_dispatch_overhead_ns: int = 6_000,
+    ):
+        if execution_mode not in EXECUTION_MODES:
+            raise ConfigurationError(
+                f"execution_mode must be one of {EXECUTION_MODES}, got {execution_mode!r}"
+            )
+        self.spec = spec if spec is not None else titan_x_pascal()
+        self.execution_mode = execution_mode
+        self.clock = DeviceClock()
+        self.listeners = CompositeListener()
+        self.allocator: BaseAllocator = make_allocator(
+            allocator, self.spec, self.clock, self.listeners
+        )
+        self.timing = KernelTimingModel(
+            self.spec,
+            compute_efficiency=compute_efficiency,
+            bandwidth_efficiency=bandwidth_efficiency,
+            host_dispatch_overhead_ns=host_dispatch_overhead_ns,
+        )
+        self.compute_stream = Stream("compute", self.clock)
+        self.dma = DmaEngine(self.spec, self.clock, self.timing)
+        self.kernel_count = 0
+
+    # -- profiling hooks -----------------------------------------------------------
+
+    def add_listener(self, listener: MemoryEventListener) -> None:
+        """Attach a memory-behavior listener (e.g. a trace recorder)."""
+        self.listeners.add(listener)
+
+    def remove_listener(self, listener: MemoryEventListener) -> None:
+        """Detach a previously attached listener."""
+        self.listeners.remove(listener)
+
+    # -- memory management -----------------------------------------------------------
+
+    def allocate(self, size: int, category: MemoryCategory = MemoryCategory.UNKNOWN,
+                 tag: str = "") -> Block:
+        """Allocate ``size`` bytes of device memory."""
+        return self.allocator.allocate(size, category=category, tag=tag)
+
+    def free(self, block: Block) -> None:
+        """Free a device memory block."""
+        self.allocator.free(block)
+
+    def notify_read(self, block: Block, nbytes: int, op: str) -> None:
+        """Report that ``op`` read ``nbytes`` from ``block``."""
+        self.listeners.on_read(block, nbytes, op)
+
+    def notify_write(self, block: Block, nbytes: int, op: str) -> None:
+        """Report that ``op`` wrote ``nbytes`` to ``block``."""
+        self.listeners.on_write(block, nbytes, op)
+
+    # -- execution -----------------------------------------------------------
+
+    @property
+    def is_eager(self) -> bool:
+        """Whether kernels actually compute values on NumPy buffers."""
+        return self.execution_mode == "eager"
+
+    def run_kernel(self, cost: KernelCost) -> int:
+        """Account for the execution of one kernel; returns its duration in ns."""
+        duration = self.timing.op_duration_ns(cost)
+        self.compute_stream.schedule(duration, name=cost.name)
+        self.clock.advance(duration)
+        self.kernel_count += 1
+        return duration
+
+    def host_pause(self, duration_ns: int) -> None:
+        """Model host-side time during which the device is idle.
+
+        Used by the training loop for data loading / preprocessing and other
+        framework overhead between device operations; these gaps are what
+        produce the very large access-time intervals the paper highlights.
+        """
+        if duration_ns < 0:
+            raise ConfigurationError("host_pause duration must be non-negative")
+        self.clock.advance(duration_ns)
+
+    def copy_host_to_device(self, nbytes: int, tag: str = "") -> int:
+        """Synchronous pinned host→device copy; returns its duration in ns."""
+        return self.dma.host_to_device(nbytes, tag=tag).duration_ns
+
+    def copy_device_to_host(self, nbytes: int, tag: str = "") -> int:
+        """Synchronous pinned device→host copy; returns its duration in ns."""
+        return self.dma.device_to_host(nbytes, tag=tag).duration_ns
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def allocated_bytes(self) -> int:
+        """Bytes currently allocated to live tensors."""
+        return self.allocator.allocated_bytes
+
+    @property
+    def reserved_bytes(self) -> int:
+        """Bytes currently reserved from the device by the allocator."""
+        return self.allocator.reserved_bytes
+
+    @property
+    def peak_allocated_bytes(self) -> int:
+        """High-water mark of allocated bytes."""
+        return self.allocator.stats.peak_allocated_bytes
+
+    @property
+    def peak_reserved_bytes(self) -> int:
+        """High-water mark of reserved bytes."""
+        return self.allocator.stats.peak_reserved_bytes
+
+    def memory_stats(self) -> dict:
+        """``torch.cuda.memory_stats``-style dictionary of allocator counters."""
+        return self.allocator.stats.to_dict()
+
+    def memory_snapshot(self) -> list:
+        """``torch.cuda.memory_snapshot``-style dump of segments and blocks."""
+        return self.allocator.memory_snapshot()
+
+    def synchronize(self) -> int:
+        """Wait for all outstanding stream work; returns the new device time."""
+        self.compute_stream.synchronize()
+        self.dma.copy_stream.synchronize()
+        return self.clock.now_ns
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Device({self.spec.name!r}, allocator={self.allocator.name!r}, "
+            f"mode={self.execution_mode!r}, now={self.clock.now_ns}ns)"
+        )

@@ -1,0 +1,127 @@
+"""Listener interfaces through which the device reports memory behaviors.
+
+The paper's methodology is to *instrument the memory allocators of the
+runtime system*.  In this reproduction the instrumentation points are
+explicit: every allocator and every tensor storage accepts a
+:class:`MemoryEventListener` and notifies it on each ``malloc``, ``free``,
+``read`` and ``write``.  The trace recorder in :mod:`repro.core.recorder`
+implements this interface; a :class:`CompositeListener` allows several
+consumers (e.g. a recorder plus a live fragmentation monitor) to observe the
+same device.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from .memory import Block, Segment
+
+
+class MemoryEventListener:
+    """Base listener; every hook is a no-op.
+
+    Subclasses override the hooks they care about.  All hooks receive the
+    *live* block/segment object, so listeners can read its address, size,
+    category and tag; they must not mutate it.
+    """
+
+    def on_malloc(self, block: "Block", requested_size: int) -> None:
+        """A block was handed out by the allocator."""
+
+    def on_free(self, block: "Block") -> None:
+        """A block was returned to the allocator."""
+
+    def on_read(self, block: "Block", nbytes: int, op: str) -> None:
+        """``nbytes`` of the block were read by operator ``op``."""
+
+    def on_write(self, block: "Block", nbytes: int, op: str) -> None:
+        """``nbytes`` of the block were written by operator ``op``."""
+
+    def on_segment_alloc(self, segment: "Segment") -> None:
+        """The allocator reserved a new segment (simulated ``cudaMalloc``)."""
+
+    def on_segment_free(self, segment: "Segment") -> None:
+        """The allocator released a segment (simulated ``cudaFree``)."""
+
+
+class NullListener(MemoryEventListener):
+    """A listener that ignores everything (the default when not profiling)."""
+
+
+class CompositeListener(MemoryEventListener):
+    """Fan-out listener that forwards every hook to a list of children."""
+
+    def __init__(self, listeners: Iterable[MemoryEventListener] = ()):
+        self._listeners: List[MemoryEventListener] = list(listeners)
+
+    def add(self, listener: MemoryEventListener) -> None:
+        """Attach another child listener."""
+        self._listeners.append(listener)
+
+    def remove(self, listener: MemoryEventListener) -> None:
+        """Detach a child listener (no-op if absent)."""
+        if listener in self._listeners:
+            self._listeners.remove(listener)
+
+    def __len__(self) -> int:
+        return len(self._listeners)
+
+    def on_malloc(self, block: "Block", requested_size: int) -> None:
+        for listener in self._listeners:
+            listener.on_malloc(block, requested_size)
+
+    def on_free(self, block: "Block") -> None:
+        for listener in self._listeners:
+            listener.on_free(block)
+
+    def on_read(self, block: "Block", nbytes: int, op: str) -> None:
+        for listener in self._listeners:
+            listener.on_read(block, nbytes, op)
+
+    def on_write(self, block: "Block", nbytes: int, op: str) -> None:
+        for listener in self._listeners:
+            listener.on_write(block, nbytes, op)
+
+    def on_segment_alloc(self, segment: "Segment") -> None:
+        for listener in self._listeners:
+            listener.on_segment_alloc(segment)
+
+    def on_segment_free(self, segment: "Segment") -> None:
+        for listener in self._listeners:
+            listener.on_segment_free(segment)
+
+
+class CountingListener(MemoryEventListener):
+    """A tiny listener that counts behaviors; useful in tests and sanity checks."""
+
+    def __init__(self) -> None:
+        self.mallocs = 0
+        self.frees = 0
+        self.reads = 0
+        self.writes = 0
+        self.segment_allocs = 0
+        self.segment_frees = 0
+
+    def on_malloc(self, block: "Block", requested_size: int) -> None:
+        self.mallocs += 1
+
+    def on_free(self, block: "Block") -> None:
+        self.frees += 1
+
+    def on_read(self, block: "Block", nbytes: int, op: str) -> None:
+        self.reads += 1
+
+    def on_write(self, block: "Block", nbytes: int, op: str) -> None:
+        self.writes += 1
+
+    def on_segment_alloc(self, segment: "Segment") -> None:
+        self.segment_allocs += 1
+
+    def on_segment_free(self, segment: "Segment") -> None:
+        self.segment_frees += 1
+
+    @property
+    def total_behaviors(self) -> int:
+        """Total number of block-level behaviors observed."""
+        return self.mallocs + self.frees + self.reads + self.writes

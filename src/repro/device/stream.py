@@ -1,0 +1,78 @@
+"""Minimal stream model for overlap analysis.
+
+The bulk of the reproduction runs synchronously on a single compute stream
+(which is how eager PyTorch issues its kernels), so the device clock alone is
+sufficient.  Streams become relevant for the swap-planning extension: a
+dedicated copy stream lets prefetches and evictions overlap with compute, and
+the planner needs to know when the copy engine would actually be free.
+
+A :class:`Stream` tracks the time at which its last scheduled operation
+finishes; scheduling a new operation starts at ``max(now, busy_until)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from .clock import DeviceClock
+
+
+@dataclass
+class StreamOp:
+    """One operation scheduled on a stream."""
+
+    name: str
+    start_ns: int
+    end_ns: int
+
+    @property
+    def duration_ns(self) -> int:
+        """Duration of the operation in nanoseconds."""
+        return self.end_ns - self.start_ns
+
+
+class Stream:
+    """An in-order queue of device operations with its own completion horizon."""
+
+    def __init__(self, name: str, clock: DeviceClock):
+        self.name = name
+        self.clock = clock
+        self.busy_until_ns = clock.now_ns
+        self.ops: List[StreamOp] = []
+
+    def schedule(self, duration_ns: int, name: str = "") -> Tuple[int, int]:
+        """Schedule an operation of ``duration_ns``; returns its (start, end) times.
+
+        The operation starts when both the stream is free and the current
+        device time has been reached; it does **not** advance the device clock
+        (the caller synchronizes explicitly if needed).
+        """
+        if duration_ns < 0:
+            raise ValueError("duration_ns must be non-negative")
+        start = max(self.clock.now_ns, self.busy_until_ns)
+        end = start + int(duration_ns)
+        self.busy_until_ns = end
+        self.ops.append(StreamOp(name=name or f"{self.name}-op{len(self.ops)}",
+                                 start_ns=start, end_ns=end))
+        return start, end
+
+    def synchronize(self) -> int:
+        """Advance the device clock to this stream's completion horizon."""
+        if self.busy_until_ns > self.clock.now_ns:
+            self.clock.advance_to(self.busy_until_ns)
+        return self.clock.now_ns
+
+    def idle_time_ns(self) -> int:
+        """Total idle gaps between consecutive operations on this stream."""
+        idle = 0
+        for previous, current in zip(self.ops, self.ops[1:]):
+            idle += max(0, current.start_ns - previous.end_ns)
+        return idle
+
+    def busy_time_ns(self) -> int:
+        """Total busy time of the stream."""
+        return sum(op.duration_ns for op in self.ops)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Stream({self.name!r}, busy_until={self.busy_until_ns}, ops={len(self.ops)})"

@@ -1,0 +1,89 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch a single base class.  The subclasses mirror the major
+subsystems: the simulated device, the tensor library, the neural-network
+framework and the memory-behavior analyses.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class DeviceError(ReproError):
+    """Base class for errors raised by the simulated device."""
+
+
+class OutOfMemoryError(DeviceError):
+    """Raised when a device allocation cannot be satisfied.
+
+    Mirrors CUDA's ``cudaErrorMemoryAllocation`` / PyTorch's
+    ``torch.cuda.OutOfMemoryError``: the message records how much was
+    requested, how much is free and how much is cached.
+    """
+
+    def __init__(self, requested: int, free: int, reserved: int, capacity: int):
+        self.requested = int(requested)
+        self.free = int(free)
+        self.reserved = int(reserved)
+        self.capacity = int(capacity)
+        super().__init__(
+            f"Device out of memory: tried to allocate {requested} bytes "
+            f"(capacity {capacity} bytes, reserved {reserved} bytes, "
+            f"free {free} bytes)"
+        )
+
+
+class InvalidFreeError(DeviceError):
+    """Raised when freeing a pointer the allocator does not own."""
+
+
+class AllocatorStateError(DeviceError):
+    """Raised when the allocator's internal invariants are violated."""
+
+
+class ClockError(DeviceError):
+    """Raised when the simulated clock would move backwards."""
+
+
+class TensorError(ReproError):
+    """Base class for tensor-library errors."""
+
+
+class ShapeError(TensorError):
+    """Raised when tensor shapes are incompatible for an operation."""
+
+
+class DTypeError(TensorError):
+    """Raised when an unsupported or mismatched dtype is used."""
+
+
+class MaterializationError(TensorError):
+    """Raised when numeric data is requested from a virtual (shape-only) tensor."""
+
+
+class ModuleError(ReproError):
+    """Base class for neural-network module errors."""
+
+
+class BackwardBeforeForwardError(ModuleError):
+    """Raised when ``backward`` is called before ``forward`` on a module."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when an experiment or component is mis-configured."""
+
+
+class TraceError(ReproError):
+    """Base class for memory-trace recording/analysis errors."""
+
+
+class EmptyTraceError(TraceError):
+    """Raised when an analysis requires events but the trace is empty."""
+
+
+class TraceFormatError(TraceError):
+    """Raised when a serialized trace cannot be parsed."""

@@ -1,0 +1,77 @@
+"""Experiment E2/E3 — Figure 3: CDF and violin plot of the MLP's ATIs.
+
+The paper reports that the ATIs of most behaviors are concentrated in the
+10-25 us band and that 90% of behaviors have an ATI below 25 us.  This
+experiment computes the full CDF (Fig. 3a) and per-behavior-kind violin
+statistics (Fig. 3b) from the recorded MLP trace and quantifies the
+concentration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.ati import (
+    AccessInterval,
+    AtiSummary,
+    compute_access_intervals,
+    fraction_below,
+    interval_values_us,
+    intervals_by_kind,
+    summarize_intervals,
+)
+from ..core.stats import CdfResult, ViolinStats, empirical_cdf, violin_stats
+from ..train.session import SessionResult, TrainingRunConfig, run_training_session
+from .configs import paper_mlp_config
+
+
+@dataclass
+class Fig3Result:
+    """Data behind Figure 3a (CDF) and Figure 3b (violin per behavior kind)."""
+
+    session: SessionResult
+    intervals: List[AccessInterval]
+    cdf: CdfResult
+    violins: Dict[str, ViolinStats]
+    summary_stats: AtiSummary
+    fraction_below_25us: float
+    fraction_below_p90_value: float
+
+    def summary(self) -> Dict[str, object]:
+        """Compact summary recorded in EXPERIMENTS.md."""
+        return {
+            "workload": self.session.label,
+            "num_intervals": len(self.intervals),
+            "ati": self.summary_stats.to_dict(),
+            "fraction_below_25us": self.fraction_below_25us,
+            "p90_us": self.summary_stats.p90_us,
+            "violin_medians_us": {kind: stats.median
+                                  for kind, stats in self.violins.items()},
+        }
+
+
+def run_fig3(config: Optional[TrainingRunConfig] = None,
+             session: Optional[SessionResult] = None) -> Fig3Result:
+    """Run the Figure-3 experiment (reuses an existing session when provided)."""
+    if session is None:
+        config = config if config is not None else paper_mlp_config()
+        session = run_training_session(config)
+    intervals = compute_access_intervals(session.trace)
+    values_us = interval_values_us(intervals)
+    cdf = empirical_cdf(values_us)
+    grouped = intervals_by_kind(intervals)
+    violins = {kind: violin_stats([i.interval_us for i in group], label=kind)
+               for kind, group in sorted(grouped.items())}
+    summary_stats = summarize_intervals(intervals)
+    return Fig3Result(
+        session=session,
+        intervals=intervals,
+        cdf=cdf,
+        violins=violins,
+        summary_stats=summary_stats,
+        fraction_below_25us=fraction_below(intervals, 25.0),
+        fraction_below_p90_value=0.9,
+    )

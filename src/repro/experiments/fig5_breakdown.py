@@ -1,0 +1,90 @@
+"""Experiment E6 — Figure 5: memory occupation breakdown of typical DNNs.
+
+The paper's observation: for most DNNs, parameters account for only a small
+fraction of the training footprint; intermediate results dominate.  This
+experiment profiles a family of "typical" models (the MLP, LeNet-5, AlexNet,
+VGG-11/16, a small Inception and ResNet-18/50) in virtual execution and
+reports the three-way breakdown at peak occupancy for each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.breakdown import OccupationBreakdown, occupation_breakdown
+from ..train.session import SessionResult, TrainingRunConfig, run_training_session
+from .configs import breakdown_config
+
+#: Default model family for the Figure-5 breakdown: (label, model, dataset,
+#: batch size, input size).  CIFAR-sized inputs keep the sweep fast while the
+#: two ImageNet entries show the large-model regime.
+DEFAULT_FIG5_WORKLOADS: Tuple[Tuple[str, str, str, int, int], ...] = (
+    ("mlp", "mlp", "two_cluster", 512, 0),
+    ("lenet5", "lenet5", "mnist", 128, 28),
+    ("alexnet-imagenet", "alexnet", "imagenet", 64, 224),
+    ("vgg11-cifar", "vgg11", "cifar100", 128, 32),
+    ("vgg16-imagenet", "vgg16", "imagenet", 32, 224),
+    ("inception-cifar", "inception_small", "cifar100", 128, 32),
+    ("resnet18-imagenet", "resnet18", "imagenet", 32, 224),
+    ("resnet50-imagenet", "resnet50", "imagenet", 16, 224),
+)
+
+
+@dataclass
+class Fig5Result:
+    """Per-model breakdowns for the "typical DNNs" figure."""
+
+    breakdowns: List[OccupationBreakdown] = field(default_factory=list)
+    sessions: Dict[str, SessionResult] = field(default_factory=dict)
+
+    def rows(self) -> List[Dict[str, object]]:
+        """One report row per model: total footprint and per-bucket fractions."""
+        return [dict(label=b.label, total_bytes=b.total_bytes, **b.fractions())
+                for b in self.breakdowns]
+
+    def parameters_always_minor(self, threshold: float = 0.5) -> bool:
+        """The paper's claim: parameters are a small fraction for every model."""
+        return all(b.fraction("parameters") <= threshold for b in self.breakdowns)
+
+    def intermediates_dominant_count(self) -> int:
+        """How many models have intermediate results as the largest bucket."""
+        count = 0
+        for b in self.breakdowns:
+            fractions = b.fractions()
+            if max(fractions, key=fractions.get) == "intermediate results":
+                count += 1
+        return count
+
+    def summary(self) -> Dict[str, object]:
+        """Compact summary recorded in EXPERIMENTS.md."""
+        return {
+            "num_models": len(self.breakdowns),
+            "parameters_always_minor": self.parameters_always_minor(),
+            "intermediates_dominant_count": self.intermediates_dominant_count(),
+            "rows": self.rows(),
+        }
+
+
+def run_fig5(workloads: Optional[Sequence[Tuple[str, str, str, int, int]]] = None,
+             num_classes_override: Optional[int] = None) -> Fig5Result:
+    """Profile every model of the Figure-5 family and compute its breakdown."""
+    workloads = workloads if workloads is not None else DEFAULT_FIG5_WORKLOADS
+    result = Fig5Result()
+    for label, model, dataset, batch_size, input_size in workloads:
+        kwargs: Dict[str, object] = {}
+        if model not in ("mlp", "paper_mlp"):
+            kwargs["input_size"] = input_size or None
+            dataset_classes = {"cifar100": 100, "cifar10": 10, "imagenet": 1000,
+                               "mnist": 10, "two_cluster": 2}[dataset]
+            kwargs["num_classes"] = (num_classes_override if num_classes_override is not None
+                                     else dataset_classes)
+        config = breakdown_config(model=model, dataset=dataset, batch_size=batch_size,
+                                  input_size=kwargs.get("input_size"),
+                                  num_classes=kwargs.get("num_classes"))
+        config.label = label
+        session = run_training_session(config)
+        breakdown = occupation_breakdown(session.trace, label=label)
+        result.breakdowns.append(breakdown)
+        result.sessions[label] = session
+    return result

@@ -1,0 +1,78 @@
+"""Experiment E8 — Figure 7: ResNet breakdown versus depth (ImageNet).
+
+The paper repeats the Figure-6 analysis for the non-linear ResNet family
+(ResNet-18/34/50/101/152) on ImageNet-sized inputs and finds the same trend:
+intermediate results dominate and deepen their dominance with more residual
+layer blocks, while the parameter share stays minor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..core.breakdown import BreakdownSeries, occupation_breakdown
+from ..train.session import run_training_session
+from .configs import breakdown_config
+
+#: ResNet depths the paper sweeps.
+DEFAULT_FIG7_DEPTHS = ("resnet18", "resnet34", "resnet50", "resnet101", "resnet152")
+
+#: Default per-GPU batch size for the ImageNet-sized sweep.
+DEFAULT_FIG7_BATCH_SIZE = 16
+
+
+@dataclass
+class Fig7Result:
+    """Breakdown-vs-depth series for the ResNet family."""
+
+    series: BreakdownSeries
+    batch_size: int
+    dataset: str
+    input_size: int
+
+    def rows(self) -> List[Dict[str, object]]:
+        """One row per ResNet depth with the bucket fractions."""
+        return self.series.fractions_table()
+
+    def intermediates_dominant_everywhere(self, threshold: float = 0.5) -> bool:
+        """Whether intermediates exceed ``threshold`` of the footprint at every depth."""
+        return all(fraction >= threshold
+                   for fraction in self.series.trend("intermediate results"))
+
+    def parameters_always_minor(self, threshold: float = 0.5) -> bool:
+        """Whether parameters stay below ``threshold`` of the footprint at every depth."""
+        return all(fraction <= threshold for fraction in self.series.trend("parameters"))
+
+    def total_footprint_grows_with_depth(self) -> bool:
+        """Whether the absolute footprint grows with network depth."""
+        totals = [breakdown.total_bytes for _, breakdown in self.series.entries]
+        return all(b >= a for a, b in zip(totals, totals[1:]))
+
+    def summary(self) -> Dict[str, object]:
+        """Compact summary recorded in EXPERIMENTS.md."""
+        return {
+            "batch_size": self.batch_size,
+            "dataset": self.dataset,
+            "input_size": self.input_size,
+            "intermediates_dominant_everywhere": self.intermediates_dominant_everywhere(),
+            "parameters_always_minor": self.parameters_always_minor(),
+            "total_footprint_grows_with_depth": self.total_footprint_grows_with_depth(),
+            "rows": self.rows(),
+        }
+
+
+def run_fig7(depths: Sequence[str] = DEFAULT_FIG7_DEPTHS,
+             batch_size: int = DEFAULT_FIG7_BATCH_SIZE,
+             dataset: str = "imagenet", input_size: int = 224,
+             num_classes: int = 1000) -> Fig7Result:
+    """Sweep the ResNet depth at a fixed batch size on ImageNet-sized inputs."""
+    series = BreakdownSeries(parameter_name="depth")
+    for depth in depths:
+        config = breakdown_config(model=depth, dataset=dataset, batch_size=batch_size,
+                                  input_size=input_size, num_classes=num_classes)
+        config.label = f"{depth}-batch{batch_size}"
+        session = run_training_session(config)
+        series.add(depth, occupation_breakdown(session.trace, label=config.label))
+    return Fig7Result(series=series, batch_size=batch_size, dataset=dataset,
+                      input_size=input_size)

@@ -1,0 +1,47 @@
+"""Model zoo: the paper's MLP plus the linear and non-linear DNNs of Figures 5-7."""
+
+from .alexnet import AlexNet
+from .inception import InceptionBlock, SimpleInception
+from .lenet import LeNet5
+from .mlp import MLP, PAPER_MLP_HIDDEN_DIM, PAPER_MLP_INPUT_DIM, PAPER_MLP_OUTPUT_DIM, paper_mlp
+from .registry import available_models, build_model, register_model
+from .resnet import (
+    RESNET_CONFIGS,
+    BasicBlock,
+    Bottleneck,
+    ResNet,
+    resnet18,
+    resnet34,
+    resnet50,
+    resnet101,
+    resnet152,
+)
+from .vgg import VGG, VGG_CONFIGS, vgg11, vgg16
+
+__all__ = [
+    "AlexNet",
+    "BasicBlock",
+    "Bottleneck",
+    "InceptionBlock",
+    "LeNet5",
+    "MLP",
+    "PAPER_MLP_HIDDEN_DIM",
+    "PAPER_MLP_INPUT_DIM",
+    "PAPER_MLP_OUTPUT_DIM",
+    "RESNET_CONFIGS",
+    "ResNet",
+    "SimpleInception",
+    "VGG",
+    "VGG_CONFIGS",
+    "available_models",
+    "build_model",
+    "paper_mlp",
+    "register_model",
+    "resnet18",
+    "resnet34",
+    "resnet50",
+    "resnet101",
+    "resnet152",
+    "vgg11",
+    "vgg16",
+]

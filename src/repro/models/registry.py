@@ -1,0 +1,57 @@
+"""Model registry: construct any supported model by name.
+
+The breakdown experiments (Figures 5-7) iterate over model names, so a single
+string-keyed factory keeps experiment configuration declarative.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..device.device import Device
+from ..errors import ConfigurationError
+from .alexnet import AlexNet
+from .inception import SimpleInception
+from .lenet import LeNet5
+from .mlp import MLP, paper_mlp
+from .resnet import ResNet
+from .vgg import vgg11, vgg16
+
+ModelFactory = Callable[..., object]
+
+_REGISTRY: Dict[str, ModelFactory] = {
+    "mlp": lambda device, **kw: MLP(device, **kw),
+    "paper_mlp": lambda device, **kw: paper_mlp(device, **kw),
+    "lenet5": lambda device, **kw: LeNet5(device, **kw),
+    "alexnet": lambda device, **kw: AlexNet(device, **kw),
+    "vgg11": lambda device, **kw: vgg11(device, **kw),
+    "vgg16": lambda device, **kw: vgg16(device, **kw),
+    "inception_small": lambda device, **kw: SimpleInception(device, **kw),
+    "resnet18": lambda device, **kw: ResNet(device, "resnet18", **kw),
+    "resnet34": lambda device, **kw: ResNet(device, "resnet34", **kw),
+    "resnet50": lambda device, **kw: ResNet(device, "resnet50", **kw),
+    "resnet101": lambda device, **kw: ResNet(device, "resnet101", **kw),
+    "resnet152": lambda device, **kw: ResNet(device, "resnet152", **kw),
+}
+
+
+def available_models() -> List[str]:
+    """Names of every registered model."""
+    return sorted(_REGISTRY)
+
+
+def register_model(name: str, factory: ModelFactory, overwrite: bool = False) -> None:
+    """Register a custom model factory under ``name``."""
+    if name in _REGISTRY and not overwrite:
+        raise ConfigurationError(f"model '{name}' is already registered")
+    _REGISTRY[name] = factory
+
+
+def build_model(name: str, device: Device, **kwargs):
+    """Instantiate a registered model on ``device``."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(available_models())
+        raise ConfigurationError(f"unknown model '{name}'; known models: {known}") from None
+    return factory(device, **kwargs)

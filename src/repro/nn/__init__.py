@@ -1,0 +1,44 @@
+"""Minimal neural-network framework with explicit module-level backward."""
+
+from . import init
+from .layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sigmoid,
+    Tanh,
+)
+from .loss import CrossEntropyLoss, MSELoss
+from .module import Identity, Module, Sequential
+from .optim import SGD, Adam, Optimizer
+from .parameter import Parameter
+
+__all__ = [
+    "Adam",
+    "AvgPool2d",
+    "BatchNorm2d",
+    "Conv2d",
+    "CrossEntropyLoss",
+    "Dropout",
+    "Flatten",
+    "GlobalAvgPool2d",
+    "Identity",
+    "Linear",
+    "MSELoss",
+    "MaxPool2d",
+    "Module",
+    "Optimizer",
+    "Parameter",
+    "ReLU",
+    "SGD",
+    "Sequential",
+    "Sigmoid",
+    "Tanh",
+    "init",
+]

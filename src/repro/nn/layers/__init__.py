@@ -1,0 +1,23 @@
+"""Neural-network layers."""
+
+from .activation import ReLU, Sigmoid, Tanh
+from .conv import Conv2d
+from .dropout import Dropout
+from .flatten import Flatten
+from .linear import Linear
+from .normalization import BatchNorm2d
+from .pooling import AvgPool2d, GlobalAvgPool2d, MaxPool2d
+
+__all__ = [
+    "AvgPool2d",
+    "BatchNorm2d",
+    "Conv2d",
+    "Dropout",
+    "Flatten",
+    "GlobalAvgPool2d",
+    "Linear",
+    "MaxPool2d",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+]

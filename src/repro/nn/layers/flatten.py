@@ -1,0 +1,27 @@
+"""Flatten layer: reshapes feature maps for a classifier head."""
+
+from __future__ import annotations
+
+from ...tensor.tensor import Tensor
+from ..module import Module
+
+
+class Flatten(Module):
+    """View a ``(N, C, H, W)`` tensor as ``(N, C*H*W)`` without moving data.
+
+    Reshaping shares the underlying storage, so no memory behavior is
+    produced — exactly like ``torch.flatten`` on a contiguous tensor.
+    """
+
+    def __init__(self, device, name: str = "flatten"):
+        super().__init__(device, name=name)
+        self._input_shape = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        self._input_shape = x.shape
+        return x.flatten_batch()
+
+    def backward(self, grad_output: Tensor) -> Tensor:
+        if self._input_shape is None:
+            return grad_output.retain()
+        return grad_output.reshape(self._input_shape)

@@ -1,0 +1,51 @@
+"""Loss functions.
+
+Loss modules start the backward chain: ``forward(prediction, target)``
+returns a scalar loss tensor and ``backward()`` (no argument) returns the
+gradient with respect to the prediction.
+"""
+
+from __future__ import annotations
+
+from ..device.device import Device
+from ..tensor import functional as F
+from ..tensor.tensor import Tensor
+from .module import Module
+
+
+class CrossEntropyLoss(Module):
+    """Softmax cross-entropy over integer class labels."""
+
+    def forward(self, logits: Tensor, labels: Tensor) -> Tensor:  # type: ignore[override]
+        loss, probs = F.cross_entropy_forward(logits, labels)
+        self.save_for_backward(probs=probs, labels=labels)
+        probs.release()
+        return loss
+
+    def __call__(self, logits: Tensor, labels: Tensor) -> Tensor:  # type: ignore[override]
+        return self.forward(logits, labels)
+
+    def backward(self, grad_output: Tensor = None) -> Tensor:  # type: ignore[override]
+        probs = self.saved("probs")
+        labels = self.saved("labels")
+        grad_logits = F.cross_entropy_backward(probs, labels)
+        self.release_saved()
+        return grad_logits
+
+
+class MSELoss(Module):
+    """Mean squared error between a prediction and a same-shape target."""
+
+    def forward(self, prediction: Tensor, target: Tensor) -> Tensor:  # type: ignore[override]
+        self.save_for_backward(prediction=prediction, target=target)
+        return F.mse_forward(prediction, target)
+
+    def __call__(self, prediction: Tensor, target: Tensor) -> Tensor:  # type: ignore[override]
+        return self.forward(prediction, target)
+
+    def backward(self, grad_output: Tensor = None) -> Tensor:  # type: ignore[override]
+        prediction = self.saved("prediction")
+        target = self.saved("target")
+        grad = F.mse_backward(prediction, target)
+        self.release_saved()
+        return grad

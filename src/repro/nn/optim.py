@@ -1,0 +1,115 @@
+"""Optimizers.
+
+Optimizer state (momentum buffers, Adam moments) is allocated lazily on the
+first step and then persists for the rest of training, just like in PyTorch.
+In the paper's three-way breakdown this state is grouped with the parameters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..core.events import MemoryCategory
+from ..errors import ConfigurationError
+from ..tensor import functional as F
+from ..tensor.tensor import Tensor, empty
+from .parameter import Parameter
+
+
+class Optimizer:
+    """Base class holding the parameter list and shared bookkeeping."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float):
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ConfigurationError("optimizer needs at least one parameter")
+        if lr <= 0:
+            raise ConfigurationError(f"learning rate must be positive, got {lr}")
+        self.lr = float(lr)
+        self.step_count = 0
+
+    def zero_grad(self) -> None:
+        """Zero every existing parameter gradient."""
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    def step(self) -> None:
+        """Apply one update to every parameter that has a gradient."""
+        raise NotImplementedError
+
+    def state_bytes(self) -> int:
+        """Total device bytes of optimizer state."""
+        return 0
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float, momentum: float = 0.0,
+                 weight_decay: float = 0.0):
+        super().__init__(parameters, lr)
+        if momentum < 0.0:
+            raise ConfigurationError(f"momentum must be non-negative, got {momentum}")
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self._momentum_buffers: Dict[int, Tensor] = {}
+
+    def _momentum_buffer(self, index: int, parameter: Parameter) -> Optional[Tensor]:
+        if self.momentum == 0.0:
+            return None
+        if index not in self._momentum_buffers:
+            buffer = empty(parameter.device, parameter.shape, dtype=parameter.data.dtype,
+                           category=MemoryCategory.OPTIMIZER_STATE,
+                           tag=f"{parameter.name}.momentum")
+            F.zero_(buffer)
+            self._momentum_buffers[index] = buffer
+        return self._momentum_buffers[index]
+
+    def step(self) -> None:
+        self.step_count += 1
+        for index, parameter in enumerate(self.parameters):
+            if parameter.grad is None:
+                continue
+            buffer = self._momentum_buffer(index, parameter)
+            F.sgd_step(parameter.data, parameter.grad, buffer, lr=self.lr,
+                       momentum=self.momentum, weight_decay=self.weight_decay)
+
+    def state_bytes(self) -> int:
+        return sum(buffer.nbytes for buffer in self._momentum_buffers.values())
+
+
+class Adam(Optimizer):
+    """Adam optimizer with per-parameter first/second moment buffers."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float = 1e-3,
+                 betas: tuple = (0.9, 0.999), eps: float = 1e-8, weight_decay: float = 0.0):
+        super().__init__(parameters, lr)
+        self.beta1, self.beta2 = float(betas[0]), float(betas[1])
+        self.eps = float(eps)
+        self.weight_decay = float(weight_decay)
+        self._exp_avg: Dict[int, Tensor] = {}
+        self._exp_avg_sq: Dict[int, Tensor] = {}
+
+    def _moments(self, index: int, parameter: Parameter) -> tuple:
+        if index not in self._exp_avg:
+            for store, suffix in ((self._exp_avg, "exp_avg"), (self._exp_avg_sq, "exp_avg_sq")):
+                buffer = empty(parameter.device, parameter.shape, dtype=parameter.data.dtype,
+                               category=MemoryCategory.OPTIMIZER_STATE,
+                               tag=f"{parameter.name}.{suffix}")
+                F.zero_(buffer)
+                store[index] = buffer
+        return self._exp_avg[index], self._exp_avg_sq[index]
+
+    def step(self) -> None:
+        self.step_count += 1
+        for index, parameter in enumerate(self.parameters):
+            if parameter.grad is None:
+                continue
+            exp_avg, exp_avg_sq = self._moments(index, parameter)
+            F.adam_step(parameter.data, parameter.grad, exp_avg, exp_avg_sq, lr=self.lr,
+                        beta1=self.beta1, beta2=self.beta2, eps=self.eps,
+                        step=self.step_count, weight_decay=self.weight_decay)
+
+    def state_bytes(self) -> int:
+        moments = list(self._exp_avg.values()) + list(self._exp_avg_sq.values())
+        return sum(buffer.nbytes for buffer in moments)

@@ -1,0 +1,50 @@
+"""Device tensor library: dtypes, storages, tensors and operator kernels."""
+
+from . import conv_ops, functional
+from .dtype import (
+    DType,
+    all_dtypes,
+    bool_,
+    float16,
+    float32,
+    float64,
+    from_numpy_dtype,
+    get_dtype,
+    int32,
+    int64,
+    uint8,
+)
+from .storage import DeviceStorage
+from .tensor import (
+    Tensor,
+    arange_labels,
+    empty,
+    from_numpy,
+    full,
+    randn,
+    zeros,
+)
+
+__all__ = [
+    "DType",
+    "DeviceStorage",
+    "Tensor",
+    "all_dtypes",
+    "arange_labels",
+    "bool_",
+    "conv_ops",
+    "empty",
+    "float16",
+    "float32",
+    "float64",
+    "from_numpy",
+    "from_numpy_dtype",
+    "full",
+    "functional",
+    "get_dtype",
+    "int32",
+    "int64",
+    "randn",
+    "uint8",
+    "zeros",
+]

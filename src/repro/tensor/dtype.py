@@ -1,0 +1,63 @@
+"""Data types supported by the device tensor library."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DTypeError
+
+
+@dataclass(frozen=True)
+class DType:
+    """A tensor element type: a name, an element size and a NumPy equivalent."""
+
+    name: str
+    itemsize: int
+    numpy_dtype: np.dtype
+
+    def __repr__(self) -> str:
+        return f"repro.{self.name}"
+
+
+float32 = DType("float32", 4, np.dtype(np.float32))
+float16 = DType("float16", 2, np.dtype(np.float16))
+float64 = DType("float64", 8, np.dtype(np.float64))
+int64 = DType("int64", 8, np.dtype(np.int64))
+int32 = DType("int32", 4, np.dtype(np.int32))
+uint8 = DType("uint8", 1, np.dtype(np.uint8))
+bool_ = DType("bool", 1, np.dtype(np.bool_))
+
+_DTYPES = {
+    "float32": float32,
+    "float16": float16,
+    "float64": float64,
+    "int64": int64,
+    "int32": int32,
+    "uint8": uint8,
+    "bool": bool_,
+}
+
+
+def get_dtype(name: str) -> DType:
+    """Look up a dtype by name; raises :class:`~repro.errors.DTypeError` if unknown."""
+    try:
+        return _DTYPES[name]
+    except KeyError:
+        known = ", ".join(sorted(_DTYPES))
+        raise DTypeError(f"unknown dtype '{name}'; known dtypes: {known}") from None
+
+
+def from_numpy_dtype(np_dtype: np.dtype) -> DType:
+    """Map a NumPy dtype back to the library dtype."""
+    np_dtype = np.dtype(np_dtype)
+    for dtype in _DTYPES.values():
+        if dtype.numpy_dtype == np_dtype:
+            return dtype
+    raise DTypeError(f"unsupported numpy dtype {np_dtype}")
+
+
+def all_dtypes() -> tuple:
+    """All registered dtypes (useful for property-based tests)."""
+    return tuple(_DTYPES.values())

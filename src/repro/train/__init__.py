@@ -1,0 +1,13 @@
+"""Training loop and profiled training sessions."""
+
+from .session import SessionResult, TrainingRunConfig, build_device, run_training_session
+from .trainer import IterationStats, Trainer
+
+__all__ = [
+    "IterationStats",
+    "SessionResult",
+    "Trainer",
+    "TrainingRunConfig",
+    "build_device",
+    "run_training_session",
+]

@@ -1,0 +1,139 @@
+"""Profiled training sessions.
+
+A :class:`TrainingRunConfig` declaratively describes one training workload
+(model, dataset, batch size, device, allocator, execution mode, host latency)
+and :func:`run_training_session` builds every piece, attaches the memory
+profiler, trains for the requested number of iterations and returns the
+recorded trace together with the per-iteration statistics.
+
+This is the single entry point used by the figure experiments, the examples
+and the benchmark harness, so every reported number flows through the exact
+same code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.profiler import MemoryProfiler
+from ..core.trace import MemoryTrace
+from ..data.datasets import build_dataset
+from ..data.loader import DataLoader, HostLatencyModel
+from ..device.device import Device
+from ..device.spec import DeviceSpec, get_device_spec
+from ..errors import ConfigurationError
+from ..models.registry import build_model
+from ..nn.loss import CrossEntropyLoss
+from ..nn.optim import SGD, Adam
+from .trainer import IterationStats, Trainer
+
+
+@dataclass
+class TrainingRunConfig:
+    """Declarative description of one profiled training run."""
+
+    model: str = "paper_mlp"
+    model_kwargs: Dict[str, object] = field(default_factory=dict)
+    dataset: str = "two_cluster"
+    dataset_kwargs: Dict[str, object] = field(default_factory=dict)
+    batch_size: int = 64
+    iterations: int = 5
+    learning_rate: float = 0.01
+    momentum: float = 0.9
+    optimizer: str = "sgd"
+    device_spec: str = "titan_x_pascal"
+    allocator: str = "caching"
+    execution_mode: str = "eager"
+    seed: int = 0
+    host_latency: Optional[HostLatencyModel] = None
+    device_memory_capacity: Optional[int] = None
+    label: str = ""
+
+    def describe(self) -> str:
+        """Short human-readable description used as a default label."""
+        return (f"{self.model} on {self.dataset} "
+                f"(batch={self.batch_size}, iters={self.iterations}, "
+                f"mode={self.execution_mode})")
+
+
+@dataclass
+class SessionResult:
+    """Everything produced by one profiled training run."""
+
+    config: TrainingRunConfig
+    trace: MemoryTrace
+    iteration_stats: List[IterationStats]
+    parameter_bytes: int
+    parameter_count: int
+    peak_allocated_bytes: int
+    peak_reserved_bytes: int
+    allocator_stats: Dict[str, int]
+
+    @property
+    def label(self) -> str:
+        """Label for reports (falls back to the config description)."""
+        return self.config.label or self.config.describe()
+
+    def losses(self) -> List[Optional[float]]:
+        """Loss per iteration (``None`` entries in virtual execution)."""
+        return [stats.loss for stats in self.iteration_stats]
+
+
+def build_device(config: TrainingRunConfig) -> Device:
+    """Construct the simulated device described by a run configuration."""
+    spec: DeviceSpec = get_device_spec(config.device_spec)
+    if config.device_memory_capacity is not None:
+        spec = spec.with_memory_capacity(config.device_memory_capacity)
+    return Device(spec, allocator=config.allocator, execution_mode=config.execution_mode)
+
+
+def run_training_session(config: TrainingRunConfig) -> SessionResult:
+    """Run one profiled training session and return its trace and statistics."""
+    if config.iterations <= 0:
+        raise ConfigurationError("iterations must be positive")
+    device = build_device(config)
+    rng = np.random.default_rng(config.seed)
+
+    profiler = MemoryProfiler(device, metadata={
+        "workload": config.describe(),
+        "model": config.model,
+        "dataset": config.dataset,
+        "batch_size": config.batch_size,
+        "iterations": config.iterations,
+    })
+    # The paper instruments the allocator for the whole run, so model and
+    # optimizer construction (parameter allocation + initialization) is
+    # profiled too — it is what puts the "parameters" bytes in the breakdown.
+    with profiler:
+        model = build_model(config.model, device, rng=rng, **dict(config.model_kwargs))
+        dataset = build_dataset(config.dataset, seed=config.seed,
+                                **dict(config.dataset_kwargs))
+        loader = DataLoader(dataset, batch_size=config.batch_size,
+                            host_latency=config.host_latency)
+        loss_fn = CrossEntropyLoss(device, name="loss")
+
+        if config.optimizer == "sgd":
+            optimizer = SGD(model.parameters(), lr=config.learning_rate,
+                            momentum=config.momentum)
+        elif config.optimizer == "adam":
+            optimizer = Adam(model.parameters(), lr=config.learning_rate)
+        else:
+            raise ConfigurationError(f"unknown optimizer '{config.optimizer}'")
+
+        trainer = Trainer(model, loader, optimizer, loss_fn, device, recorder=profiler)
+        iteration_stats = trainer.train(config.iterations)
+    trace = profiler.trace()
+
+    return SessionResult(
+        config=config,
+        trace=trace,
+        iteration_stats=iteration_stats,
+        parameter_bytes=model.parameter_bytes(),
+        parameter_count=model.parameter_count(),
+        peak_allocated_bytes=device.peak_allocated_bytes,
+        peak_reserved_bytes=device.peak_reserved_bytes,
+        allocator_stats=device.memory_stats(),
+    )

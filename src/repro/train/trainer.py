@@ -1,0 +1,139 @@
+"""The training loop.
+
+One iteration reproduces the dataflow of an eager PyTorch training step:
+
+1. host-side data loading / preprocessing (device idle — the source of the
+   paper's large outlier access intervals),
+2. pinned H2D staging of the input and label batches,
+3. forward pass (activations allocated and saved for backward),
+4. loss computation,
+5. ``zero_grad`` + backward pass (activations consumed and freed, parameter
+   gradients accumulated into persistent buffers),
+6. optimizer step (parameters and optimizer state read/written),
+7. loss readback (D2H) and bookkeeping.
+
+An optional recorder (duck-typed: ``begin_iteration`` / ``end_iteration``)
+receives iteration boundaries so that the analyses can segment the trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..core.events import MemoryCategory
+from ..device.device import Device
+from ..errors import ConfigurationError
+from ..data.loader import DataLoader
+from ..nn.module import Module
+from ..nn.optim import Optimizer
+from ..tensor.tensor import Tensor, from_numpy
+
+
+@dataclass
+class IterationStats:
+    """Per-iteration measurements reported by the trainer."""
+
+    index: int
+    loss: Optional[float]
+    start_ns: int
+    end_ns: int
+    allocated_bytes_end: int
+    peak_allocated_bytes: int
+    reserved_bytes_end: int
+
+    @property
+    def duration_ns(self) -> int:
+        """Wall (simulated) duration of the iteration."""
+        return self.end_ns - self.start_ns
+
+
+class Trainer:
+    """Drives training of a model on a simulated device."""
+
+    def __init__(self, model: Module, loader: DataLoader, optimizer: Optimizer,
+                 loss_fn: Module, device: Device, recorder=None,
+                 post_iteration_host_ns: int = 1_000_000):
+        self.model = model
+        self.loader = loader
+        self.optimizer = optimizer
+        self.loss_fn = loss_fn
+        self.device = device
+        self.recorder = recorder
+        self.post_iteration_host_ns = int(post_iteration_host_ns)
+        self.history: List[IterationStats] = []
+
+    # -- single iteration ------------------------------------------------------------
+
+    def train_iteration(self, index: int) -> IterationStats:
+        """Run one full training iteration and return its statistics."""
+        if self.recorder is not None:
+            self.recorder.begin_iteration(index)
+        start_ns = self.device.clock.now_ns
+
+        # 1. Host-side data loading, then H2D staging of the batch.
+        inputs_np, labels_np = self.loader.next_batch()
+        self.device.host_pause(self.loader.host_time_ns())
+        inputs = from_numpy(self.device, inputs_np, category=MemoryCategory.INPUT,
+                            tag="input_batch", stage_h2d=True)
+        labels = from_numpy(self.device, labels_np, category=MemoryCategory.LABEL,
+                            tag="label_batch", stage_h2d=True)
+
+        # 2. Forward pass and loss.
+        logits = self.model(inputs)
+        loss = self.loss_fn(logits, labels)
+        logits.release()
+
+        # 3. Backward pass.
+        self.optimizer.zero_grad()
+        grad_logits = self.loss_fn.backward()
+        grad_inputs = self.model.backward(grad_logits)
+        grad_logits.release()
+        grad_inputs.release()
+
+        # 4. Optimizer step.
+        self.optimizer.step()
+
+        # 5. Loss readback (D2H) and host-side bookkeeping.
+        loss_values = loss.copy_to_host(tag="loss_readback")
+        loss_value = float(loss_values[0]) if loss_values is not None else None
+        loss.release()
+        inputs.release()
+        labels.release()
+        self.device.host_pause(self.post_iteration_host_ns)
+
+        stats = IterationStats(
+            index=index,
+            loss=loss_value,
+            start_ns=start_ns,
+            end_ns=self.device.clock.now_ns,
+            allocated_bytes_end=self.device.allocated_bytes,
+            peak_allocated_bytes=self.device.peak_allocated_bytes,
+            reserved_bytes_end=self.device.reserved_bytes,
+        )
+        self.history.append(stats)
+        if self.recorder is not None:
+            self.recorder.end_iteration(index)
+        return stats
+
+    # -- multiple iterations ------------------------------------------------------------
+
+    def train(self, num_iterations: int) -> List[IterationStats]:
+        """Run ``num_iterations`` training iterations."""
+        if num_iterations <= 0:
+            raise ConfigurationError(f"num_iterations must be positive, got {num_iterations}")
+        start_index = len(self.history)
+        return [self.train_iteration(start_index + offset)
+                for offset in range(num_iterations)]
+
+    # -- reporting ---------------------------------------------------------------------
+
+    def losses(self) -> List[Optional[float]]:
+        """Loss of every completed iteration (``None`` in virtual mode)."""
+        return [stats.loss for stats in self.history]
+
+    def mean_iteration_time_ns(self) -> float:
+        """Average simulated iteration time over the recorded history."""
+        if not self.history:
+            return 0.0
+        return sum(stats.duration_ns for stats in self.history) / len(self.history)

@@ -1,0 +1,23 @@
+"""Text-based figure rendering and figure-data export."""
+
+from .ascii import (
+    render_cdf,
+    render_gantt,
+    render_scatter,
+    render_stacked_bars,
+    render_table,
+    render_violin,
+)
+from .export import export_figure_data, write_csv_rows, write_json
+
+__all__ = [
+    "export_figure_data",
+    "render_cdf",
+    "render_gantt",
+    "render_scatter",
+    "render_stacked_bars",
+    "render_table",
+    "render_violin",
+    "write_csv_rows",
+    "write_json",
+]

@@ -1,0 +1,177 @@
+"""ASCII renderings of the paper's figures.
+
+The reproduction is plotting-library free: every figure can be rendered as a
+text chart suitable for terminals, logs and EXPERIMENTS.md.  The renderers
+take the analysis results from :mod:`repro.core` and return strings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.gantt import GanttChart
+from ..core.stats import CdfResult, ViolinStats
+from ..units import format_bytes, format_duration
+
+
+def _scale(value: float, low: float, high: float, width: int) -> int:
+    """Map ``value`` in ``[low, high]`` onto a column index in ``[0, width)``."""
+    if high <= low:
+        return 0
+    position = (value - low) / (high - low)
+    return min(width - 1, max(0, int(round(position * (width - 1)))))
+
+
+def render_gantt(chart: GanttChart, width: int = 100, max_rows: int = 40,
+                 label_width: int = 28) -> str:
+    """Render a Gantt chart (Figure 2) as rows of ``#`` spans on a time axis.
+
+    One row per block lifetime (largest blocks first, capped at ``max_rows``),
+    with ``|`` marks on the header row for iteration boundaries.
+    """
+    if not chart.rectangles:
+        return "(empty gantt chart)"
+    start = min(rect.start_ns for rect in chart.rectangles)
+    end = max(chart.end_ns, max(rect.end_ns for rect in chart.rectangles))
+
+    header = [" "] * width
+    for _, iter_start, iter_end in chart.iteration_bounds:
+        header[_scale(iter_start, start, end, width)] = "|"
+        header[_scale(iter_end, start, end, width)] = "|"
+    lines = [" " * label_width + "".join(header)]
+
+    rows = sorted(chart.rectangles, key=lambda rect: rect.size, reverse=True)[:max_rows]
+    rows.sort(key=lambda rect: rect.start_ns)
+    for rect in rows:
+        row = ["."] * width
+        first = _scale(rect.start_ns, start, end, width)
+        last = _scale(rect.end_ns, start, end, width)
+        for column in range(first, max(first, last) + 1):
+            row[column] = "#"
+        label = f"{rect.tag or rect.category.value}"[:label_width - 12]
+        label = f"{label:<{label_width - 12}}{format_bytes(rect.size):>11} "
+        lines.append(label + "".join(row))
+    footer = (f"time span: {format_duration(end - start)}; "
+              f"{len(chart.rectangles)} lifetimes ({len(rows)} shown)")
+    lines.append(footer)
+    return "\n".join(lines)
+
+
+def render_cdf(cdf: CdfResult, width: int = 70, height: int = 15,
+               x_label: str = "ATI (us)") -> str:
+    """Render an empirical CDF (Figure 3a) as an ASCII step plot."""
+    if cdf.values.size == 0:
+        return "(empty CDF)"
+    low, high = float(cdf.values[0]), float(cdf.values[-1])
+    grid = [[" "] * width for _ in range(height)]
+    for value, probability in zip(cdf.values, cdf.probabilities):
+        column = _scale(value, low, high, width)
+        row = height - 1 - _scale(probability, 0.0, 1.0, height)
+        grid[row][column] = "*"
+    lines = ["1.0 |" + "".join(grid[0])]
+    for row_index in range(1, height - 1):
+        lines.append("    |" + "".join(grid[row_index]))
+    lines.append("0.0 |" + "".join(grid[height - 1]))
+    lines.append("    +" + "-" * width)
+    lines.append(f"     {low:.1f} ... {high:.1f}  ({x_label})")
+    return "\n".join(lines)
+
+
+def render_violin(violins: Dict[str, ViolinStats], width: int = 60) -> str:
+    """Render violin statistics (Figure 3b) as quartile bars per behavior kind."""
+    if not violins:
+        return "(no violin data)"
+    high = max(stats.maximum for stats in violins.values()) or 1.0
+    lines = []
+    for label, stats in violins.items():
+        if stats.count == 0:
+            lines.append(f"{label:>10}: (no samples)")
+            continue
+        row = ["-"] * width
+        q1_col = _scale(stats.q1, 0.0, high, width)
+        q3_col = _scale(stats.q3, 0.0, high, width)
+        median_col = _scale(stats.median, 0.0, high, width)
+        for column in range(q1_col, q3_col + 1):
+            row[column] = "="
+        row[median_col] = "O"
+        row[_scale(stats.minimum, 0.0, high, width)] = "|"
+        row[_scale(stats.maximum, 0.0, high, width)] = "|"
+        lines.append(f"{label:>10}: " + "".join(row) +
+                     f"  (n={stats.count}, median={stats.median:.1f}us)")
+    lines.append(f"{'scale':>10}: 0 ... {high:.1f} us")
+    return "\n".join(lines)
+
+
+def render_scatter(points: Sequence[Tuple[float, float]], width: int = 70, height: int = 20,
+                   x_label: str = "behavior index", y_label: str = "ATI (us)",
+                   mark: str = "*", highlight: Optional[Sequence[Tuple[float, float]]] = None
+                   ) -> str:
+    """Render a scatter plot (Figure 4) with optional highlighted outliers (``@``)."""
+    if not points:
+        return "(no points)"
+    xs = [point[0] for point in points]
+    ys = [point[1] for point in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in points:
+        column = _scale(x, x_low, x_high, width)
+        row = height - 1 - _scale(y, y_low, y_high, height)
+        grid[row][column] = mark
+    for x, y in (highlight or []):
+        column = _scale(x, x_low, x_high, width)
+        row = height - 1 - _scale(y, y_low, y_high, height)
+        grid[row][column] = "@"
+    lines = ["".join(row) for row in grid]
+    lines.append("-" * width)
+    lines.append(f"x: {x_label} [{x_low:.0f}, {x_high:.0f}]   "
+                 f"y: {y_label} [{y_low:.1f}, {y_high:.1f}]   (@ = outlier)")
+    return "\n".join(lines)
+
+
+def render_stacked_bars(rows: Sequence[Dict[str, object]], buckets: Sequence[str],
+                        label_key: str, width: int = 60) -> str:
+    """Render breakdown fractions (Figures 5-7) as stacked horizontal bars.
+
+    Each row dictionary must contain ``label_key`` and a fraction per bucket.
+    The buckets are drawn with distinct characters in order: ``I`` (input
+    data), ``P`` (parameters), ``#`` (intermediate results).
+    """
+    symbols = {"input data": "I", "parameters": "P", "intermediate results": "#"}
+    lines = []
+    for row in rows:
+        bar = ""
+        for bucket in buckets:
+            fraction = float(row.get(bucket, 0.0))
+            bar += symbols.get(bucket, "?") * int(round(fraction * width))
+        bar = bar[:width].ljust(width, " ")
+        label = str(row[label_key])
+        total = row.get("total_bytes")
+        suffix = f"  total={format_bytes(total)}" if total is not None else ""
+        lines.append(f"{label:>18} |{bar}|{suffix}")
+    legend = "  ".join(f"{symbol}={bucket}" for bucket, symbol in symbols.items())
+    lines.append(f"{'legend':>18}  {legend}")
+    return "\n".join(lines)
+
+
+def render_table(rows: Sequence[Dict[str, object]], columns: Optional[Sequence[str]] = None,
+                 float_format: str = "{:.3f}") -> str:
+    """Render a list of dictionaries as a fixed-width text table."""
+    if not rows:
+        return "(empty table)"
+    columns = list(columns) if columns is not None else list(rows[0].keys())
+
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    widths = {column: len(column) for column in columns}
+    for row in rows:
+        for column in columns:
+            widths[column] = max(widths[column], len(fmt(row.get(column, ""))))
+    header = " | ".join(f"{column:>{widths[column]}}" for column in columns)
+    separator = "-+-".join("-" * widths[column] for column in columns)
+    body = [" | ".join(f"{fmt(row.get(column, '')):>{widths[column]}}" for column in columns)
+            for row in rows]
+    return "\n".join([header, separator] + body)

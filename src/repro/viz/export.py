@@ -1,0 +1,44 @@
+"""Export figure data to CSV/JSON for external plotting tools."""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+PathLike = Union[str, Path]
+
+
+def write_json(data: object, path: PathLike) -> Path:
+    """Write any JSON-serializable object to ``path`` (parents created)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2, default=str)
+    return path
+
+
+def write_csv_rows(rows: Sequence[Dict[str, object]], path: PathLike) -> Path:
+    """Write a list of homogeneous dictionaries as CSV (columns from the first row)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if not rows:
+        path.write_text("", encoding="utf-8")
+        return path
+    columns = list(rows[0].keys())
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=columns, extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return path
+
+
+def export_figure_data(figure_name: str, rows: Sequence[Dict[str, object]],
+                       output_dir: PathLike = "figure_data") -> Dict[str, Path]:
+    """Write one figure's rows to both CSV and JSON under ``output_dir``."""
+    output_dir = Path(output_dir)
+    csv_path = write_csv_rows(rows, output_dir / f"{figure_name}.csv")
+    json_path = write_json(list(rows), output_dir / f"{figure_name}.json")
+    return {"csv": csv_path, "json": json_path}

@@ -1,0 +1,110 @@
+"""Tests for the swapping/recompute/compression baseline policies."""
+
+import pytest
+
+from repro.baselines import (
+    estimate_pruning,
+    estimate_quantization,
+    estimate_recompute_plan,
+    swap_advisor_style_policy,
+    zero_offload_style_policy,
+)
+from repro.core.events import MemoryCategory
+from repro.units import MIB, s_to_ns
+
+from conftest import build_trace
+
+
+def make_training_like_trace():
+    """Parameters + optimizer state + a large activation per iteration."""
+    us = 1_000
+    events = [
+        ("malloc", 0, 1, 8 * MIB, MemoryCategory.PARAMETER, -1),
+        ("malloc", 1 * us, 2, 8 * MIB, MemoryCategory.OPTIMIZER_STATE, -1),
+        ("malloc", 2 * us, 3, 8 * MIB, MemoryCategory.PARAMETER_GRADIENT, -1),
+    ]
+    marks = []
+    for iteration in range(3):
+        base = (iteration + 1) * 1_000_000_000
+        events += [
+            ("malloc", base, 10, 512 * MIB, MemoryCategory.ACTIVATION, iteration),
+            ("write", base + 10 * us, 10, 512 * MIB, MemoryCategory.ACTIVATION, iteration),
+            ("read", base + 500_000_000, 10, 512 * MIB, MemoryCategory.ACTIVATION, iteration),
+            ("free", base + 600_000_000, 10, 512 * MIB, MemoryCategory.ACTIVATION, iteration),
+            ("read", base + 610_000_000, 1, 8 * MIB, MemoryCategory.PARAMETER, iteration),
+            ("write", base + 620_000_000, 1, 8 * MIB, MemoryCategory.PARAMETER, iteration),
+        ]
+        marks.append((base, base + 900_000_000))
+    return build_trace(events, iteration_marks=marks, end_ns=4_000_000_000)
+
+
+def test_swap_advisor_style_selects_largest_blocks():
+    trace = make_training_like_trace()
+    result = swap_advisor_style_policy(trace, top_k=1)
+    assert result.selected_block_ids == [10]
+    assert result.swapped_bytes == 512 * MIB
+    assert result.savings_bytes > 0
+    assert result.summary()["name"] == "swap_advisor_style"
+
+
+def test_swap_advisor_style_charges_overhead_when_interval_too_short():
+    trace = make_training_like_trace()
+    generous = swap_advisor_style_policy(trace, top_k=1)
+    # The 512 MiB activation is idle ~0.5 s, which hides its ~0.16 s round trip.
+    assert generous.overhead_ns == pytest.approx(0.0)
+
+
+def test_zero_offload_style_offloads_optimizer_state_and_gradients():
+    trace = make_training_like_trace()
+    result = zero_offload_style_policy(trace)
+    assert result.swapped_bytes == 16 * MIB
+    assert result.overhead_ns > 0
+    assert result.savings_fraction < 0.1      # tiny compared to activations
+
+
+def test_policies_handle_traces_without_candidates(simple_trace):
+    result = swap_advisor_style_policy(simple_trace)
+    assert result.swapped_bytes == 0
+    assert result.savings_bytes == 0
+    zero = zero_offload_style_policy(simple_trace)
+    assert zero.swapped_bytes == 0
+
+
+def test_recompute_plan_discards_activation_bytes():
+    trace = make_training_like_trace()
+    plan = estimate_recompute_plan(trace, keep_every=2)
+    assert plan.activation_bytes_total > 0
+    assert 0 <= plan.activation_bytes_discarded <= plan.activation_bytes_total
+    assert plan.estimated_peak_bytes_after <= plan.peak_bytes_before
+    assert plan.recompute_time_overhead_ns >= 0
+    assert plan.summary()["keep_every"] == 2
+    with pytest.raises(ValueError):
+        estimate_recompute_plan(trace, keep_every=0)
+
+
+def test_recompute_keep_every_one_discards_nothing():
+    trace = make_training_like_trace()
+    plan = estimate_recompute_plan(trace, keep_every=1)
+    assert plan.activation_bytes_discarded == 0
+    assert plan.recompute_time_overhead_ns == 0
+
+
+def test_pruning_barely_reduces_training_footprint():
+    trace = make_training_like_trace()
+    estimate = estimate_pruning(trace, sparsity=0.9)
+    assert estimate.parameter_reduction_fraction == pytest.approx(0.9)
+    # The paper's argument: pruning 90% of weights saves only a few percent of
+    # the training footprint because intermediates dominate.
+    assert estimate.total_reduction_fraction < 0.1
+    with pytest.raises(ValueError):
+        estimate_pruning(trace, sparsity=1.5)
+
+
+def test_quantization_estimate():
+    trace = make_training_like_trace()
+    estimate = estimate_quantization(trace, bits=8)
+    assert estimate.parameter_bytes_after == estimate.parameter_bytes_before // 4
+    assert estimate.total_reduction_fraction < 0.1
+    assert "8-bit" in estimate.technique
+    with pytest.raises(ValueError):
+        estimate_quantization(trace, bits=0)

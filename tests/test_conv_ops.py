@@ -1,0 +1,232 @@
+"""Numerical tests for convolution, pooling and batch-norm kernels."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import conv_ops as C
+from repro.tensor import from_numpy, full, randn, zeros
+from repro.tensor.im2col import col2im, conv_output_hw, im2col, pool_output_hw
+from repro.errors import ShapeError
+
+
+def reference_conv2d(x, w, b, stride, padding):
+    """Direct (slow) convolution used as the numerical reference."""
+    batch, _, height, width = x.shape
+    out_channels, _, kh, kw = w.shape
+    padded = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    out_h = (height + 2 * padding - kh) // stride + 1
+    out_w = (width + 2 * padding - kw) // stride + 1
+    out = np.zeros((batch, out_channels, out_h, out_w), dtype=np.float32)
+    for n in range(batch):
+        for o in range(out_channels):
+            for i in range(out_h):
+                for j in range(out_w):
+                    window = padded[n, :, i * stride:i * stride + kh, j * stride:j * stride + kw]
+                    out[n, o, i, j] = (window * w[o]).sum()
+            if b is not None:
+                out[n, o] += b[o]
+    return out
+
+
+# -- im2col -----------------------------------------------------------------------------------
+
+
+def test_conv_output_hw():
+    assert conv_output_hw(32, 32, 3, 3, 1, 1) == (32, 32)
+    assert conv_output_hw(224, 224, 7, 7, 2, 3) == (112, 112)
+    with pytest.raises(ShapeError):
+        conv_output_hw(2, 2, 5, 5, 1, 0)
+
+
+def test_im2col_col2im_adjoint_property(rng):
+    """col2im(im2col(x)) sums each input element once per window it appears in."""
+    x = rng.standard_normal((2, 3, 6, 6)).astype(np.float32)
+    cols = im2col(x, 3, 3, 1, 1)
+    ones = np.ones_like(cols)
+    folded = col2im(ones, x.shape, 3, 3, 1, 1)
+    # Interior pixels are covered by 9 windows of a 3x3 kernel with padding 1.
+    assert folded[0, 0, 3, 3] == pytest.approx(9.0)
+    assert folded[0, 0, 0, 0] == pytest.approx(4.0)   # corners by 4
+
+
+def test_im2col_matmul_equals_direct_conv(rng):
+    x = rng.standard_normal((2, 3, 8, 8)).astype(np.float32)
+    w = rng.standard_normal((4, 3, 3, 3)).astype(np.float32)
+    cols = im2col(x, 3, 3, 1, 1)
+    out = (cols @ w.reshape(4, -1).T).reshape(2, 8, 8, 4).transpose(0, 3, 1, 2)
+    np.testing.assert_allclose(out, reference_conv2d(x, w, None, 1, 1), rtol=1e-4, atol=1e-4)
+
+
+# -- convolution --------------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("stride,padding", [(1, 1), (2, 1), (1, 0)])
+def test_conv2d_forward_matches_reference(test_device, rng, stride, padding):
+    x = from_numpy(test_device, rng.standard_normal((2, 3, 8, 8)).astype(np.float32))
+    w = from_numpy(test_device, rng.standard_normal((4, 3, 3, 3)).astype(np.float32))
+    b = from_numpy(test_device, rng.standard_normal(4).astype(np.float32))
+    out = C.conv2d_forward(x, w, b, stride=stride, padding=padding)
+    expected = reference_conv2d(x.numpy(), w.numpy(), b.numpy(), stride, padding)
+    np.testing.assert_allclose(out.numpy(), expected, rtol=1e-4, atol=1e-4)
+
+
+def test_conv2d_channel_mismatch_raises(test_device):
+    x = zeros(test_device, (1, 3, 8, 8))
+    w = zeros(test_device, (4, 5, 3, 3))
+    with pytest.raises(ShapeError):
+        C.conv2d_forward(x, w, None, stride=1, padding=1)
+
+
+def test_conv2d_backward_input_matches_numerical(test_device, rng):
+    x_np = rng.standard_normal((1, 2, 5, 5)).astype(np.float64)
+    w_np = rng.standard_normal((3, 2, 3, 3)).astype(np.float64)
+    grad_np = rng.standard_normal((1, 3, 5, 5)).astype(np.float64)
+
+    def forward(x_values):
+        """Direct float64 convolution contracted with the upstream gradient."""
+        padded = np.pad(x_values, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        out = np.zeros((1, 3, 5, 5), dtype=np.float64)
+        for o in range(3):
+            for i in range(5):
+                for j in range(5):
+                    window = padded[0, :, i:i + 3, j:j + 3]
+                    out[0, o, i, j] = (window * w_np[o]).sum()
+        return (out * grad_np).sum()
+
+    numerical = np.zeros_like(x_np)
+    epsilon = 1e-4
+    for index in np.ndindex(*x_np.shape):
+        plus, minus = x_np.copy(), x_np.copy()
+        plus[index] += epsilon
+        minus[index] -= epsilon
+        numerical[index] = (forward(plus) - forward(minus)) / (2 * epsilon)
+
+    grad_output = from_numpy(test_device, grad_np.astype(np.float32))
+    weight = from_numpy(test_device, w_np.astype(np.float32))
+    grad_input = C.conv2d_backward_input(grad_output, weight, (1, 2, 5, 5), stride=1, padding=1)
+    np.testing.assert_allclose(grad_input.numpy(), numerical, rtol=1e-2, atol=1e-3)
+
+
+def test_conv2d_backward_params_accumulates(test_device, rng):
+    x = from_numpy(test_device, rng.standard_normal((2, 2, 6, 6)).astype(np.float32))
+    grad_out = from_numpy(test_device, rng.standard_normal((2, 3, 6, 6)).astype(np.float32))
+    grad_w = zeros(test_device, (3, 2, 3, 3))
+    grad_b = zeros(test_device, (3,))
+    C.conv2d_backward_params(x, grad_out, grad_w, grad_b, stride=1, padding=1)
+    first_pass = grad_w.numpy().copy()
+    C.conv2d_backward_params(x, grad_out, grad_w, grad_b, stride=1, padding=1)
+    np.testing.assert_allclose(grad_w.numpy(), 2 * first_pass, rtol=1e-4)
+    np.testing.assert_allclose(grad_b.numpy(), 2 * grad_out.numpy().sum(axis=(0, 2, 3)),
+                               rtol=1e-4)
+
+
+def test_conv2d_workspace_is_freed(test_device, rng):
+    allocated_before = test_device.allocated_bytes
+    x = from_numpy(test_device, rng.standard_normal((1, 3, 8, 8)).astype(np.float32))
+    w = from_numpy(test_device, rng.standard_normal((4, 3, 3, 3)).astype(np.float32))
+    out = C.conv2d_forward(x, w, None, stride=1, padding=1)
+    # Only x, w and the output should remain allocated (workspace freed).
+    expected_live = x.nbytes + w.nbytes + out.nbytes
+    assert test_device.allocated_bytes - allocated_before <= expected_live + 1024
+
+
+# -- pooling -------------------------------------------------------------------------------------
+
+
+def test_maxpool_forward_and_backward(test_device):
+    x_np = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+    x = from_numpy(test_device, x_np)
+    out, indices = C.maxpool2d_forward(x, kernel=2, stride=2)
+    np.testing.assert_allclose(out.numpy(), [[[[5, 7], [13, 15]]]])
+    grad = from_numpy(test_device, np.ones((1, 1, 2, 2), dtype=np.float32))
+    grad_x = C.maxpool2d_backward(grad, indices, x.shape, kernel=2, stride=2)
+    expected = np.zeros((1, 1, 4, 4), dtype=np.float32)
+    expected[0, 0, 1, 1] = expected[0, 0, 1, 3] = 1
+    expected[0, 0, 3, 1] = expected[0, 0, 3, 3] = 1
+    np.testing.assert_allclose(grad_x.numpy(), expected)
+
+
+def test_avgpool_forward_and_backward(test_device):
+    x = from_numpy(test_device, np.ones((1, 2, 4, 4), dtype=np.float32))
+    out = C.avgpool2d_forward(x, kernel=2, stride=2)
+    np.testing.assert_allclose(out.numpy(), np.ones((1, 2, 2, 2)))
+    grad = from_numpy(test_device, np.ones((1, 2, 2, 2), dtype=np.float32))
+    grad_x = C.avgpool2d_backward(grad, x.shape, kernel=2, stride=2)
+    np.testing.assert_allclose(grad_x.numpy(), np.full((1, 2, 4, 4), 0.25))
+
+
+def test_global_avg_pool(test_device, rng):
+    x_np = rng.standard_normal((2, 3, 5, 5)).astype(np.float32)
+    x = from_numpy(test_device, x_np)
+    out = C.global_avg_pool_forward(x)
+    np.testing.assert_allclose(out.numpy(), x_np.mean(axis=(2, 3), keepdims=True), rtol=1e-5)
+    grad = from_numpy(test_device, np.ones((2, 3, 1, 1), dtype=np.float32))
+    grad_x = C.global_avg_pool_backward(grad, x.shape)
+    np.testing.assert_allclose(grad_x.numpy(), np.full(x_np.shape, 1.0 / 25), rtol=1e-5)
+
+
+# -- batch normalization -----------------------------------------------------------------------------
+
+
+def test_batchnorm_forward_normalizes_channels(test_device, rng):
+    x_np = rng.standard_normal((8, 4, 6, 6)).astype(np.float32) * 3 + 2
+    x = from_numpy(test_device, x_np)
+    gamma = full(test_device, (4,), 1.0)
+    beta = zeros(test_device, (4,))
+    running_mean = zeros(test_device, (4,))
+    running_var = full(test_device, (4,), 1.0)
+    out, save_mean, save_invstd = C.batchnorm2d_forward(
+        x, gamma, beta, running_mean, running_var, momentum=0.1, eps=1e-5, training=True)
+    values = out.numpy()
+    np.testing.assert_allclose(values.mean(axis=(0, 2, 3)), np.zeros(4), atol=1e-4)
+    np.testing.assert_allclose(values.std(axis=(0, 2, 3)), np.ones(4), atol=1e-3)
+    # Running statistics moved toward the batch statistics.
+    assert not np.allclose(running_mean.numpy(), np.zeros(4))
+    np.testing.assert_allclose(save_mean.numpy(), x_np.mean(axis=(0, 2, 3)), rtol=1e-4)
+
+
+def test_batchnorm_eval_uses_running_stats(test_device, rng):
+    x = from_numpy(test_device, rng.standard_normal((4, 2, 3, 3)).astype(np.float32))
+    gamma = full(test_device, (2,), 1.0)
+    beta = zeros(test_device, (2,))
+    running_mean = zeros(test_device, (2,))
+    running_var = full(test_device, (2,), 1.0)
+    out, _, _ = C.batchnorm2d_forward(x, gamma, beta, running_mean, running_var,
+                                      momentum=0.1, eps=0.0, training=False)
+    np.testing.assert_allclose(out.numpy(), x.numpy(), rtol=1e-4)
+
+
+def test_batchnorm_backward_matches_numerical(test_device, rng):
+    x_np = rng.standard_normal((3, 2, 4, 4)).astype(np.float64)
+    gamma_np = rng.standard_normal(2).astype(np.float64)
+    grad_np = rng.standard_normal((3, 2, 4, 4)).astype(np.float64)
+    eps = 1e-5
+
+    def forward(values):
+        mean = values.mean(axis=(0, 2, 3), keepdims=True)
+        var = values.var(axis=(0, 2, 3), keepdims=True)
+        x_hat = (values - mean) / np.sqrt(var + eps)
+        return (x_hat * gamma_np[None, :, None, None] * grad_np).sum()
+
+    numerical = np.zeros_like(x_np)
+    epsilon = 1e-5
+    for index in np.ndindex(*x_np.shape):
+        plus, minus = x_np.copy(), x_np.copy()
+        plus[index] += epsilon
+        minus[index] -= epsilon
+        numerical[index] = (forward(plus) - forward(minus)) / (2 * epsilon)
+
+    x = from_numpy(test_device, x_np.astype(np.float32))
+    gamma = from_numpy(test_device, gamma_np.astype(np.float32))
+    beta = zeros(test_device, (2,))
+    running_mean = zeros(test_device, (2,))
+    running_var = full(test_device, (2,), 1.0)
+    out, save_mean, save_invstd = C.batchnorm2d_forward(
+        x, gamma, beta, running_mean, running_var, momentum=0.1, eps=eps, training=True)
+    grad_out = from_numpy(test_device, grad_np.astype(np.float32))
+    grad_gamma = zeros(test_device, (2,))
+    grad_beta = zeros(test_device, (2,))
+    grad_x = C.batchnorm2d_backward(grad_out, x, gamma, save_mean, save_invstd,
+                                    grad_gamma, grad_beta)
+    np.testing.assert_allclose(grad_x.numpy(), numerical, rtol=1e-2, atol=1e-3)
+    np.testing.assert_allclose(grad_beta.numpy(), grad_np.sum(axis=(0, 2, 3)), rtol=1e-3)

@@ -1,0 +1,89 @@
+"""Tests for synthetic datasets and the data loader."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DataLoader,
+    HostLatencyModel,
+    SyntheticCIFAR100,
+    SyntheticImageNet,
+    SyntheticMNIST,
+    TwoClusterDataset,
+    build_dataset,
+)
+from repro.errors import ConfigurationError
+
+
+def test_cifar100_shapes_and_classes():
+    dataset = SyntheticCIFAR100(seed=0)
+    inputs, labels = dataset.sample_batch(8)
+    assert inputs.shape == (8, 3, 32, 32)
+    assert inputs.dtype == np.float32
+    assert labels.shape == (8,)
+    assert labels.dtype == np.int64
+    assert labels.max() < 100
+    assert dataset.num_classes == 100
+
+
+def test_imagenet_shapes():
+    dataset = SyntheticImageNet(seed=0)
+    inputs, labels = dataset.sample_batch(2)
+    assert inputs.shape == (2, 3, 224, 224)
+    assert dataset.num_classes == 1000
+    assert dataset.batch_bytes(2) == 2 * 3 * 224 * 224 * 4
+
+
+def test_mnist_shapes():
+    inputs, _ = SyntheticMNIST(seed=0).sample_batch(4)
+    assert inputs.shape == (4, 1, 28, 28)
+
+
+def test_two_cluster_dataset_is_separable():
+    dataset = TwoClusterDataset(input_dim=2, seed=0, separation=6.0)
+    inputs, labels = dataset.sample_batch(500)
+    centers = np.array([inputs[labels == 0].mean(axis=0), inputs[labels == 1].mean(axis=0)])
+    assert np.linalg.norm(centers[0] - centers[1]) > 3.0
+
+
+def test_dataset_batch_size_validation():
+    with pytest.raises(ConfigurationError):
+        SyntheticCIFAR100().sample_batch(0)
+
+
+def test_build_dataset_by_name():
+    assert build_dataset("cifar100").name == "cifar100"
+    assert build_dataset("two_cluster", input_dim=4).sample_shape == (4,)
+    with pytest.raises(ConfigurationError):
+        build_dataset("imagenet22k")
+
+
+def test_sampling_is_deterministic_per_seed():
+    first, _ = SyntheticCIFAR100(seed=7).sample_batch(4)
+    second, _ = SyntheticCIFAR100(seed=7).sample_batch(4)
+    np.testing.assert_allclose(first, second)
+
+
+def test_host_latency_model_scales_with_batch():
+    model = HostLatencyModel(per_batch_ns=1_000, per_sample_ns=100, per_byte_ns=0.5)
+    small = model.batch_time_ns(batch_size=1, batch_bytes=10)
+    large = model.batch_time_ns(batch_size=100, batch_bytes=1000)
+    assert small == 1_000 + 100 + 5
+    assert large > small
+
+
+def test_data_loader_yields_batches_and_host_time():
+    dataset = SyntheticCIFAR100(seed=0)
+    loader = DataLoader(dataset, batch_size=16)
+    inputs, labels = loader.next_batch()
+    assert inputs.shape[0] == 16
+    assert loader.host_time_ns() > 0
+    assert loader.batch_bytes == dataset.batch_bytes(16)
+    assert loader.label_bytes == 16 * 8
+    batches = list(loader.batches(3))
+    assert len(batches) == 3
+
+
+def test_data_loader_validates_batch_size():
+    with pytest.raises(ConfigurationError):
+        DataLoader(SyntheticCIFAR100(), batch_size=0)

@@ -1,0 +1,104 @@
+"""Tests for dtypes and device storage."""
+
+import numpy as np
+import pytest
+
+from repro.core.events import MemoryCategory
+from repro.device import CountingListener
+from repro.errors import DTypeError, MaterializationError, TensorError
+from repro.tensor.dtype import all_dtypes, float32, from_numpy_dtype, get_dtype, int64
+from repro.tensor.storage import DeviceStorage
+
+
+# -- dtypes ---------------------------------------------------------------------------
+
+
+def test_get_dtype_by_name():
+    assert get_dtype("float32") is float32
+    assert get_dtype("int64") is int64
+    with pytest.raises(DTypeError):
+        get_dtype("complex128")
+
+
+def test_from_numpy_dtype_round_trip():
+    for dtype in all_dtypes():
+        assert from_numpy_dtype(dtype.numpy_dtype) is dtype
+    with pytest.raises(DTypeError):
+        from_numpy_dtype(np.dtype(np.complex64))
+
+
+def test_dtype_itemsizes():
+    assert float32.itemsize == 4
+    assert int64.itemsize == 8
+    assert get_dtype("float16").itemsize == 2
+    assert repr(float32) == "repro.float32"
+
+
+# -- storage --------------------------------------------------------------------------
+
+
+def test_storage_allocates_device_block(test_device):
+    storage = DeviceStorage(test_device, numel=100, dtype=float32,
+                            category=MemoryCategory.ACTIVATION, tag="act")
+    assert storage.nbytes == 400
+    assert storage.block is not None
+    assert test_device.allocated_bytes >= 400
+
+
+def test_storage_eager_buffer_and_set(test_device):
+    storage = DeviceStorage(test_device, numel=4, dtype=float32)
+    assert storage.is_materialized
+    storage.set_buffer(np.array([1.0, 2.0, 3.0, 4.0]))
+    np.testing.assert_allclose(storage.buffer(), [1, 2, 3, 4])
+    with pytest.raises(TensorError):
+        storage.set_buffer(np.zeros(5))
+
+
+def test_storage_virtual_has_no_buffer(virtual_device):
+    storage = DeviceStorage(virtual_device, numel=10)
+    assert not storage.is_materialized
+    with pytest.raises(MaterializationError):
+        storage.buffer()
+    # Setting values on a virtual storage is silently dropped.
+    storage.set_buffer(np.zeros(10))
+
+
+def test_storage_refcounting_frees_at_zero(test_device):
+    storage = DeviceStorage(test_device, numel=10)
+    storage.retain()
+    storage.release()
+    assert not storage.is_freed
+    storage.release()
+    assert storage.is_freed
+    # Releasing an already-freed storage is a no-op.
+    storage.release()
+
+
+def test_storage_free_is_idempotent(test_device):
+    storage = DeviceStorage(test_device, numel=10)
+    storage.free()
+    storage.free()
+    assert storage.is_freed
+    with pytest.raises(TensorError):
+        storage.record_read("op")
+
+
+def test_storage_access_records_events(test_device):
+    listener = CountingListener()
+    test_device.add_listener(listener)
+    storage = DeviceStorage(test_device, numel=10, tag="x")
+    storage.record_write("producer")
+    storage.record_read("consumer")
+    storage.record_read("consumer", nbytes=4)
+    assert listener.writes == 1
+    assert listener.reads == 2
+
+
+def test_storage_rejects_negative_numel(test_device):
+    with pytest.raises(TensorError):
+        DeviceStorage(test_device, numel=-1)
+
+
+def test_zero_element_storage_still_occupies_a_block(test_device):
+    storage = DeviceStorage(test_device, numel=0)
+    assert storage.block is not None

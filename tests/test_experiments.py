@@ -1,0 +1,146 @@
+"""Tests for the per-figure experiment entry points (scaled-down configurations)."""
+
+import pytest
+
+from repro.experiments import (
+    paper_mlp_config,
+    run_allocator_ablation,
+    run_eq1,
+    run_fig2,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_swap_planner,
+    run_timing_ablation,
+    small_mlp_config,
+)
+from repro.units import GB, KB
+
+
+@pytest.fixture(scope="module")
+def small_paper_session():
+    """One shared reduced paper-MLP run used by the figure experiments."""
+    from repro.train.session import run_training_session
+
+    return run_training_session(paper_mlp_config(batch_size=2048, iterations=4,
+                                                 execution_mode="virtual"))
+
+
+def test_eq1_reproduces_paper_numbers():
+    result = run_eq1()
+    summary = result.summary()
+    assert summary["swap_bound_at_25us_kb"] == pytest.approx(79.37, abs=0.01)
+    assert summary["swap_bound_at_0.8s_gb"] == pytest.approx(2.54, abs=0.01)
+    assert summary["measured_h2d_gbps"] == pytest.approx(6.3, rel=0.05)
+    assert summary["measured_d2h_gbps"] == pytest.approx(6.4, rel=0.05)
+    # The sweep is monotone in the ATI.
+    bounds = [bound for _, bound in result.sweep]
+    assert all(b2 >= b1 for b1, b2 in zip(bounds, bounds[1:]))
+
+
+def test_eq1_with_measured_bandwidths_is_slightly_lower():
+    paper = run_eq1(use_measured_bandwidths=False)
+    measured = run_eq1(use_measured_bandwidths=True)
+    assert measured.paper_points[25.0] <= paper.paper_points[25.0]
+
+
+def test_fig2_detects_iterative_patterns(small_paper_session):
+    result = run_fig2(config=None, max_iterations=4)
+    # Reuse the shared session path through run_fig2's own config is heavy; instead
+    # check the cheap eager config.
+    assert result.patterns.is_iterative or result.patterns.mean_jaccard_similarity > 0.9
+
+
+def test_fig2_summary_fields_on_small_config():
+    result = run_fig2(config=small_mlp_config(batch_size=16, iterations=4, hidden_dim=32))
+    summary = result.summary()
+    assert summary["num_iterations"] == 4
+    assert summary["is_iterative"]
+    assert summary["num_rectangles"] > 0
+    assert len(result.iteration_durations_s()) == 4
+
+
+def test_fig3_distribution_is_concentrated(small_paper_session):
+    result = run_fig3(session=small_paper_session)
+    assert result.summary_stats.count > 100
+    assert result.cdf.values.size == result.summary_stats.count
+    assert 0.0 < result.fraction_below_25us < 1.0
+    assert set(result.violins) <= {"read", "write"}
+    summary = result.summary()
+    assert summary["p90_us"] >= summary["ati"]["p50_us"]
+
+
+def test_fig4_finds_large_long_idle_outliers(small_paper_session):
+    from repro.units import MIB, s_to_ns
+    from repro.core.outliers import find_outliers
+
+    result = run_fig4(session=small_paper_session)
+    assert len(result.pairwise) == len(result.intervals)
+    # With the reduced batch the paper's absolute thresholds are too strict, so
+    # verify the scaled-down equivalent: blocks > 64 MiB idle for > 0.1 s exist.
+    scaled = find_outliers(result.intervals, ati_threshold_ns=s_to_ns(0.1),
+                           size_threshold_bytes=64 * MIB)
+    assert scaled.count > 0
+    assert result.top_candidates
+    assert result.summary()["num_behaviors"] > 0
+
+
+def test_fig5_parameters_are_minor_for_typical_dnns():
+    workloads = (
+        ("lenet5", "lenet5", "mnist", 32, 28),
+        ("resnet18-cifar", "resnet18", "cifar100", 32, 32),
+    )
+    result = run_fig5(workloads=workloads)
+    assert len(result.breakdowns) == 2
+    assert result.parameters_always_minor()
+    assert result.intermediates_dominant_count() == 2
+    rows = result.rows()
+    assert all(set(("input data", "parameters", "intermediate results")) <= set(row)
+               for row in rows)
+
+
+def test_fig6_intermediates_grow_with_batch_size():
+    result = run_fig6(batch_sizes=(32, 128, 512), input_size=32, num_classes=100)
+    assert result.intermediates_grow_with_batch()
+    assert result.parameters_shrink_with_batch()
+    rows = result.rows()
+    assert rows[0]["batch_size"] == 32
+    assert rows[-1]["total_bytes"] > rows[0]["total_bytes"]
+
+
+def test_fig7_intermediates_dominate_across_depths():
+    result = run_fig7(depths=("resnet18", "resnet50"), batch_size=8)
+    assert result.intermediates_dominant_everywhere()
+    assert result.parameters_always_minor()
+    assert result.total_footprint_grows_with_depth()
+    assert len(result.rows()) == 2
+
+
+def test_swap_planner_beats_zero_overhead_baselines(small_paper_session):
+    result = run_swap_planner(session=small_paper_session)
+    summary = result.summary()
+    assert summary["planner"]["savings_bytes"] >= 0
+    assert summary["planner"]["total_overhead_ns"] == 0.0
+    # The ZeRO-style baseline offloads small state on this workload, so the
+    # ATI-aware planner should save at least as much.
+    assert summary["planner"]["savings_bytes"] >= summary["zero_offload_style"]["savings_bytes"]
+
+
+def test_allocator_ablation_differentiates_policies():
+    rows = run_allocator_ablation(batch_size=256, iterations=3, hidden_dim=512)
+    by_name = {row.allocator: row for row in rows}
+    assert set(by_name) == {"caching", "best_fit", "bump"}
+    assert by_name["caching"].cache_hit_rate > 0.5
+    assert by_name["bump"].cache_hit_rate == 0.0
+    # The bump allocator never reuses blocks, so it observes more distinct blocks.
+    assert by_name["bump"].num_blocks > by_name["caching"].num_blocks
+    assert by_name["bump"].segment_allocs > by_name["caching"].segment_allocs
+
+
+def test_timing_ablation_p50_grows_with_dispatch_overhead():
+    rows = run_timing_ablation(dispatch_overheads_us=(1.0, 20.0), batch_size=128,
+                               iterations=3, hidden_dim=256)
+    assert rows[0].p50_us < rows[1].p50_us
+    assert rows[0].to_dict()["host_dispatch_overhead_us"] == 1.0

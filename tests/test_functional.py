@@ -1,0 +1,234 @@
+"""Numerical tests for the dense/elementwise/loss/optimizer kernels."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.tensor import functional as F
+from repro.tensor import from_numpy, randn, zeros
+from repro.tensor.shape_ops import concat_channels, split_channels
+
+
+def tensors_close(tensor, expected, rtol=1e-5, atol=1e-6):
+    np.testing.assert_allclose(tensor.numpy(), expected, rtol=rtol, atol=atol)
+
+
+# -- dense ops ---------------------------------------------------------------------------
+
+
+def test_matmul_matches_numpy(test_device, rng):
+    a = from_numpy(test_device, rng.standard_normal((5, 7)).astype(np.float32))
+    b = from_numpy(test_device, rng.standard_normal((7, 3)).astype(np.float32))
+    out = F.matmul(a, b)
+    tensors_close(out, a.numpy() @ b.numpy())
+
+
+def test_matmul_shape_mismatch_raises(test_device):
+    a = zeros(test_device, (2, 3))
+    b = zeros(test_device, (4, 5))
+    with pytest.raises(ShapeError):
+        F.matmul(a, b)
+
+
+def test_linear_forward_matches_numpy(test_device, rng):
+    x = from_numpy(test_device, rng.standard_normal((4, 6)).astype(np.float32))
+    w = from_numpy(test_device, rng.standard_normal((6, 2)).astype(np.float32))
+    b = from_numpy(test_device, rng.standard_normal(2).astype(np.float32))
+    out = F.linear_forward(x, w, b)
+    tensors_close(out, x.numpy() @ w.numpy() + b.numpy())
+
+
+def test_linear_backward_matches_numerical_gradient(test_device, rng):
+    x_np = rng.standard_normal((3, 4)).astype(np.float32)
+    w_np = rng.standard_normal((4, 2)).astype(np.float32)
+    grad_np = rng.standard_normal((3, 2)).astype(np.float32)
+    x = from_numpy(test_device, x_np)
+    w = from_numpy(test_device, w_np)
+    grad_out = from_numpy(test_device, grad_np)
+    grad_w = zeros(test_device, (4, 2))
+    grad_b = zeros(test_device, (2,))
+    F.linear_backward_params(x, grad_out, grad_w, grad_b)
+    grad_x = F.linear_backward_input(grad_out, w)
+    tensors_close(grad_w, x_np.T @ grad_np)
+    tensors_close(grad_b, grad_np.sum(axis=0))
+    tensors_close(grad_x, grad_np @ w_np.T)
+
+
+def test_parameter_gradients_accumulate(test_device, rng):
+    x = from_numpy(test_device, rng.standard_normal((3, 4)).astype(np.float32))
+    grad_out = from_numpy(test_device, rng.standard_normal((3, 2)).astype(np.float32))
+    grad_w = zeros(test_device, (4, 2))
+    F.linear_backward_params(x, grad_out, grad_w, None)
+    F.linear_backward_params(x, grad_out, grad_w, None)
+    tensors_close(grad_w, 2 * (x.numpy().T @ grad_out.numpy()), rtol=1e-4)
+
+
+# -- elementwise -------------------------------------------------------------------------
+
+
+def test_add_and_accumulate(test_device, rng):
+    a = from_numpy(test_device, rng.standard_normal((3, 3)).astype(np.float32))
+    b = from_numpy(test_device, rng.standard_normal((3, 3)).astype(np.float32))
+    tensors_close(F.add(a, b), a.numpy() + b.numpy())
+    expected = a.numpy() + b.numpy()
+    F.accumulate_(a, b)
+    tensors_close(a, expected)
+    with pytest.raises(ShapeError):
+        F.add(a, zeros(test_device, (2, 2)))
+
+
+def test_scale_and_zero(test_device, rng):
+    a = from_numpy(test_device, rng.standard_normal((4,)).astype(np.float32))
+    tensors_close(F.scale(a, 2.5), a.numpy() * 2.5)
+    F.zero_(a)
+    tensors_close(a, np.zeros(4))
+
+
+def test_relu_forward_and_backward(test_device):
+    x = from_numpy(test_device, np.array([[-1.0, 2.0], [0.5, -3.0]], dtype=np.float32))
+    y = F.relu_forward(x)
+    tensors_close(y, [[0.0, 2.0], [0.5, 0.0]])
+    grad = from_numpy(test_device, np.ones((2, 2), dtype=np.float32))
+    grad_x = F.relu_backward(grad, y)
+    tensors_close(grad_x, [[0.0, 1.0], [1.0, 0.0]])
+
+
+def test_sigmoid_and_tanh(test_device, rng):
+    x_np = rng.standard_normal((5,)).astype(np.float32)
+    x = from_numpy(test_device, x_np)
+    sig = F.sigmoid_forward(x)
+    tensors_close(sig, 1 / (1 + np.exp(-x_np)), rtol=1e-4)
+    tan = F.tanh_forward(x)
+    tensors_close(tan, np.tanh(x_np), rtol=1e-4)
+    grad = from_numpy(test_device, np.ones(5, dtype=np.float32))
+    tensors_close(F.sigmoid_backward(grad, sig), sig.numpy() * (1 - sig.numpy()), rtol=1e-4)
+    tensors_close(F.tanh_backward(grad, tan), 1 - tan.numpy() ** 2, rtol=1e-4)
+
+
+def test_dropout_forward_scales_survivors(test_device, rng):
+    x = from_numpy(test_device, np.ones((1000,), dtype=np.float32))
+    out, mask = F.dropout_forward(x, p=0.5, rng=np.random.default_rng(0))
+    values = out.numpy()
+    dropped = np.sum(values == 0.0)
+    assert 300 < dropped < 700               # roughly half dropped
+    survivors = values[values > 0]
+    np.testing.assert_allclose(survivors, 2.0, rtol=1e-5)   # inverted scaling
+    grad = from_numpy(test_device, np.ones(1000, dtype=np.float32))
+    grad_x = F.dropout_backward(grad, mask)
+    np.testing.assert_allclose(grad_x.numpy(), mask.numpy())
+
+
+def test_dropout_rejects_bad_probability(test_device):
+    x = zeros(test_device, (4,))
+    with pytest.raises(ShapeError):
+        F.dropout_forward(x, p=1.0, rng=np.random.default_rng(0))
+
+
+# -- softmax / losses ----------------------------------------------------------------------
+
+
+def test_softmax_rows_sum_to_one(test_device, rng):
+    x = from_numpy(test_device, rng.standard_normal((6, 10)).astype(np.float32))
+    probs = F.softmax(x)
+    np.testing.assert_allclose(probs.numpy().sum(axis=1), np.ones(6), rtol=1e-5)
+    assert probs.numpy().min() >= 0
+
+
+def test_cross_entropy_matches_reference(test_device, rng):
+    logits_np = rng.standard_normal((4, 3)).astype(np.float32)
+    labels_np = np.array([0, 2, 1, 2], dtype=np.int64)
+    logits = from_numpy(test_device, logits_np)
+    labels = from_numpy(test_device, labels_np)
+    loss, probs = F.cross_entropy_forward(logits, labels)
+    shifted = logits_np - logits_np.max(axis=1, keepdims=True)
+    reference_probs = np.exp(shifted) / np.exp(shifted).sum(axis=1, keepdims=True)
+    expected = -np.log(reference_probs[np.arange(4), labels_np]).mean()
+    assert loss.item() == pytest.approx(expected, rel=1e-4)
+    grad = F.cross_entropy_backward(probs, labels)
+    one_hot = np.zeros((4, 3), dtype=np.float32)
+    one_hot[np.arange(4), labels_np] = 1.0
+    tensors_close(grad, (reference_probs - one_hot) / 4, rtol=1e-4)
+
+
+def test_cross_entropy_gradient_matches_numerical(test_device, rng):
+    logits_np = rng.standard_normal((2, 3)).astype(np.float64)
+    labels_np = np.array([1, 0], dtype=np.int64)
+
+    def loss_fn(values):
+        shifted = values - values.max(axis=1, keepdims=True)
+        probabilities = np.exp(shifted) / np.exp(shifted).sum(axis=1, keepdims=True)
+        return -np.log(probabilities[np.arange(2), labels_np]).mean()
+
+    numerical = np.zeros_like(logits_np)
+    epsilon = 1e-5
+    for i in range(2):
+        for j in range(3):
+            plus, minus = logits_np.copy(), logits_np.copy()
+            plus[i, j] += epsilon
+            minus[i, j] -= epsilon
+            numerical[i, j] = (loss_fn(plus) - loss_fn(minus)) / (2 * epsilon)
+
+    logits = from_numpy(test_device, logits_np.astype(np.float32))
+    labels = from_numpy(test_device, labels_np)
+    _, probs = F.cross_entropy_forward(logits, labels)
+    grad = F.cross_entropy_backward(probs, labels)
+    np.testing.assert_allclose(grad.numpy(), numerical, rtol=1e-3, atol=1e-5)
+
+
+def test_mse_forward_and_backward(test_device):
+    prediction = from_numpy(test_device, np.array([1.0, 2.0, 3.0], dtype=np.float32))
+    target = from_numpy(test_device, np.array([0.0, 2.0, 5.0], dtype=np.float32))
+    loss = F.mse_forward(prediction, target)
+    assert loss.item() == pytest.approx((1 + 0 + 4) / 3, rel=1e-5)
+    grad = F.mse_backward(prediction, target)
+    tensors_close(grad, 2 * (prediction.numpy() - target.numpy()) / 3)
+
+
+# -- optimizer kernels -----------------------------------------------------------------------
+
+
+def test_sgd_step_without_momentum(test_device):
+    param = from_numpy(test_device, np.array([1.0, 2.0], dtype=np.float32))
+    grad = from_numpy(test_device, np.array([0.5, -0.5], dtype=np.float32))
+    F.sgd_step(param, grad, None, lr=0.1)
+    tensors_close(param, [0.95, 2.05])
+
+
+def test_sgd_step_with_momentum_and_weight_decay(test_device):
+    param = from_numpy(test_device, np.array([1.0], dtype=np.float32))
+    grad = from_numpy(test_device, np.array([1.0], dtype=np.float32))
+    buf = from_numpy(test_device, np.array([0.0], dtype=np.float32))
+    F.sgd_step(param, grad, buf, lr=0.1, momentum=0.9, weight_decay=0.1)
+    # effective grad = 1 + 0.1*1 = 1.1; buf = 1.1; param = 1 - 0.11 = 0.89
+    tensors_close(param, [0.89], rtol=1e-5)
+    tensors_close(buf, [1.1], rtol=1e-5)
+
+
+def test_adam_step_moves_towards_negative_gradient(test_device):
+    param = from_numpy(test_device, np.array([1.0, -1.0], dtype=np.float32))
+    grad = from_numpy(test_device, np.array([0.5, -0.5], dtype=np.float32))
+    m = zeros(test_device, (2,))
+    v = zeros(test_device, (2,))
+    F.adam_step(param, grad, m, v, lr=0.01, beta1=0.9, beta2=0.999, eps=1e-8, step=1)
+    values = param.numpy()
+    assert values[0] < 1.0
+    assert values[1] > -1.0
+
+
+# -- shape ops --------------------------------------------------------------------------------
+
+
+def test_concat_and_split_channels(test_device, rng):
+    a = from_numpy(test_device, rng.standard_normal((2, 3, 4, 4)).astype(np.float32))
+    b = from_numpy(test_device, rng.standard_normal((2, 5, 4, 4)).astype(np.float32))
+    merged = concat_channels([a, b])
+    assert merged.shape == (2, 8, 4, 4)
+    np.testing.assert_allclose(merged.numpy(),
+                               np.concatenate([a.numpy(), b.numpy()], axis=1))
+    pieces = split_channels(merged, [3, 5])
+    np.testing.assert_allclose(pieces[0].numpy(), a.numpy())
+    np.testing.assert_allclose(pieces[1].numpy(), b.numpy())
+    with pytest.raises(ShapeError):
+        split_channels(merged, [4, 5])
+    with pytest.raises(ShapeError):
+        concat_channels([])

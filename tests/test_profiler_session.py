@@ -1,0 +1,100 @@
+"""Tests for the high-level profiler and profiled training sessions."""
+
+import numpy as np
+import pytest
+
+from repro.core.profiler import MemoryProfiler
+from repro.errors import ConfigurationError, TraceError
+from repro.tensor import functional as F
+from repro.tensor import randn
+from repro.train.session import TrainingRunConfig, build_device, run_training_session
+
+
+def test_profiler_context_manager_records_and_detaches(test_device):
+    with MemoryProfiler(test_device) as profiler:
+        a = randn(test_device, (8, 8))
+        b = randn(test_device, (8, 8))
+        F.matmul(a, b)
+        assert profiler.event_count() > 0
+    count_at_exit = profiler.event_count()
+    randn(test_device, (4, 4))                       # not recorded anymore
+    assert profiler.event_count() == count_at_exit
+    assert len(profiler.trace()) == count_at_exit
+
+
+def test_profiler_metadata_includes_device_description(test_device):
+    with MemoryProfiler(test_device, metadata={"note": "hi"}) as profiler:
+        randn(test_device, (2,))
+    trace = profiler.trace()
+    assert trace.metadata["note"] == "hi"
+    assert trace.metadata["allocator"] == "caching"
+    assert trace.metadata["execution_mode"] == "eager"
+
+
+def test_profiler_analysis_shortcuts(small_mlp_session, test_device):
+    with MemoryProfiler(test_device) as profiler:
+        profiler.begin_iteration(0)
+        a = randn(test_device, (16, 16))
+        b = randn(test_device, (16, 16))
+        c = F.matmul(a, b)
+        F.relu_forward(c)
+        profiler.end_iteration(0)
+    assert profiler.ati_summary().count >= 1
+    assert len(profiler.gantt_chart()) >= 3
+    assert profiler.breakdown().total_bytes > 0
+    assert profiler.outlier_report().count == 0
+    assert profiler.pattern_report(skip_warmup=0).summary()["num_iterations"] == 1
+
+
+def test_profiler_require_attached(test_device):
+    profiler = MemoryProfiler(test_device)
+    with pytest.raises(TraceError):
+        profiler.require_attached()
+    profiler.start()
+    profiler.require_attached()
+    profiler.stop()
+
+
+def test_build_device_applies_capacity_override():
+    config = TrainingRunConfig(device_memory_capacity=123456789)
+    device = build_device(config)
+    assert device.spec.memory_capacity == 123456789
+
+
+def test_run_training_session_end_to_end_eager():
+    config = TrainingRunConfig(model="mlp", model_kwargs={"hidden_dim": 32},
+                               dataset="two_cluster", batch_size=16, iterations=3,
+                               execution_mode="eager", label="session-test")
+    result = run_training_session(config)
+    assert result.label == "session-test"
+    assert len(result.iteration_stats) == 3
+    assert all(loss is not None for loss in result.losses())
+    assert result.parameter_count > 0
+    assert result.peak_allocated_bytes > 0
+    assert result.trace.iterations() == [0, 1, 2]
+    assert result.allocator_stats["total_alloc_count"] > 0
+
+
+def test_run_training_session_virtual_adam():
+    config = TrainingRunConfig(model="lenet5", dataset="mnist", batch_size=8, iterations=2,
+                               execution_mode="virtual", optimizer="adam")
+    result = run_training_session(config)
+    assert all(loss is None for loss in result.losses())
+    assert len(result.trace) > 0
+
+
+def test_run_training_session_validations():
+    with pytest.raises(ConfigurationError):
+        run_training_session(TrainingRunConfig(iterations=0))
+    with pytest.raises(ConfigurationError):
+        run_training_session(TrainingRunConfig(optimizer="lbfgs", iterations=1,
+                                               model="mlp",
+                                               model_kwargs={"hidden_dim": 8},
+                                               batch_size=4))
+
+
+def test_session_config_describe_mentions_model_and_batch():
+    config = TrainingRunConfig(model="alexnet", dataset="cifar100", batch_size=128)
+    description = config.describe()
+    assert "alexnet" in description
+    assert "128" in description

@@ -1,0 +1,151 @@
+"""Tests for the trace recorder and the MemoryTrace container."""
+
+import numpy as np
+import pytest
+
+from repro.core.events import MemoryCategory, MemoryEvent, MemoryEventKind
+from repro.core.recorder import TraceRecorder
+from repro.core.trace import MemoryTrace
+from repro.errors import EmptyTraceError, TraceFormatError
+from repro.tensor import functional as F
+from repro.tensor import randn
+
+
+def record_some_activity(device):
+    recorder = TraceRecorder(device.clock, metadata={"workload": "unit-test"})
+    device.add_listener(recorder)
+    recorder.begin_iteration(0)
+    a = randn(device, (8, 8), tag="a")
+    b = randn(device, (8, 8), tag="b")
+    c = F.matmul(a, b)
+    c.free()
+    recorder.end_iteration(0)
+    device.remove_listener(recorder)
+    return recorder
+
+
+def test_recorder_captures_all_behavior_kinds(test_device):
+    recorder = record_some_activity(test_device)
+    trace = recorder.to_trace()
+    counts = trace.counts_by_kind()
+    assert counts["malloc"] == 3
+    assert counts["free"] == 1
+    assert counts["write"] >= 3
+    assert counts["read"] >= 2
+    assert trace.metadata["workload"] == "unit-test"
+
+
+def test_recorder_tracks_iteration_attribution(test_device):
+    recorder = record_some_activity(test_device)
+    trace = recorder.to_trace()
+    assert trace.iterations() == [0]
+    assert all(event.iteration == 0 for event in trace.events)
+    mark = trace.iteration_mark(0)
+    assert mark is not None and mark.duration_ns() > 0
+    assert trace.iteration_mark(7) is None
+
+
+def test_recorder_lifetimes_open_and_close(test_device):
+    recorder = record_some_activity(test_device)
+    trace = recorder.to_trace()
+    closed = [lt for lt in trace.lifetimes if lt.free_ns is not None]
+    live = [lt for lt in trace.lifetimes if lt.is_live]
+    assert len(closed) == 1          # only c was freed
+    assert len(live) == 2
+    assert closed[0].access_count >= 1
+
+
+def test_recorder_pause_resume(test_device):
+    recorder = TraceRecorder(test_device.clock)
+    test_device.add_listener(recorder)
+    recorder.pause()
+    randn(test_device, (4,))
+    assert len(recorder) == 0
+    recorder.resume()
+    randn(test_device, (4,))
+    assert len(recorder) > 0
+
+
+def test_trace_accessors(simple_trace):
+    assert len(simple_trace) == 12
+    assert simple_trace.block_ids() == [1, 2, 3]
+    assert len(simple_trace.access_events()) == 7
+    assert len(simple_trace.events_for_block(1)) == 4
+    assert simple_trace.counts_by_category()["parameter"] == 4
+    assert simple_trace.peak_live_bytes() == 1024 + 4096
+    assert simple_trace.duration_ns == 120_000
+    grouped = simple_trace.events_by_block()
+    assert set(grouped) == {1, 2, 3}
+
+
+def test_trace_events_in_iteration(simple_trace):
+    assert len(simple_trace.events_in_iteration(0)) == 7
+    assert len(simple_trace.events_in_iteration(1)) == 5
+
+
+def test_empty_trace_guards():
+    trace = MemoryTrace()
+    assert trace.is_empty
+    assert trace.duration_ns == 0
+    assert trace.peak_live_bytes() == 0
+    with pytest.raises(EmptyTraceError):
+        trace.require_events()
+
+
+def test_trace_json_round_trip(tmp_path, simple_trace):
+    path = simple_trace.save_json(tmp_path / "trace.json")
+    loaded = MemoryTrace.load_json(path)
+    assert len(loaded) == len(simple_trace)
+    assert loaded.block_ids() == simple_trace.block_ids()
+    assert loaded.iterations() == simple_trace.iterations()
+    assert loaded.events[0].kind is MemoryEventKind.MALLOC
+    assert loaded.lifetimes[0].category is MemoryCategory.PARAMETER
+
+
+def test_trace_csv_export(tmp_path, simple_trace):
+    path = simple_trace.export_events_csv(tmp_path / "events.csv")
+    content = path.read_text().splitlines()
+    assert content[0].startswith("event_id,kind,timestamp_ns")
+    assert len(content) == len(simple_trace) + 1
+
+
+def test_trace_load_rejects_bad_format(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    with pytest.raises(TraceFormatError):
+        MemoryTrace.load_json(bad)
+    with pytest.raises(TraceFormatError):
+        MemoryTrace.from_dict({"format_version": 999})
+
+
+def test_trace_summary_fields(simple_trace):
+    summary = simple_trace.summary()
+    assert summary["num_events"] == 12
+    assert summary["num_blocks"] == 3
+    assert summary["num_iterations"] == 2
+    assert summary["peak_live_bytes"] == 5120
+
+
+def test_event_serialization_round_trip():
+    event = MemoryEvent(event_id=1, kind=MemoryEventKind.WRITE, timestamp_ns=10,
+                        block_id=3, address=0x100, size=64,
+                        category=MemoryCategory.ACTIVATION, tag="x", iteration=2, op="k")
+    assert MemoryEvent.from_dict(event.to_dict()) == event
+
+
+def test_event_kind_properties():
+    assert MemoryEventKind.READ.is_access
+    assert MemoryEventKind.WRITE.is_access
+    assert not MemoryEventKind.MALLOC.is_access
+    assert MemoryEventKind.MALLOC.is_block_behavior
+    assert not MemoryEventKind.SEGMENT_ALLOC.is_block_behavior
+
+
+def test_category_paper_bucket_mapping():
+    assert MemoryCategory.INPUT.paper_bucket() == "input data"
+    assert MemoryCategory.LABEL.paper_bucket() == "input data"
+    assert MemoryCategory.PARAMETER.paper_bucket() == "parameters"
+    assert MemoryCategory.OPTIMIZER_STATE.paper_bucket() == "parameters"
+    assert MemoryCategory.ACTIVATION.paper_bucket() == "intermediate results"
+    assert MemoryCategory.PARAMETER_GRADIENT.paper_bucket() == "intermediate results"
+    assert MemoryCategory.WORKSPACE.paper_bucket() == "intermediate results"

@@ -1,0 +1,54 @@
+"""Tests for the stream model."""
+
+import pytest
+
+from repro.device.clock import DeviceClock
+from repro.device.stream import Stream
+
+
+def test_stream_schedules_back_to_back_operations():
+    clock = DeviceClock()
+    stream = Stream("compute", clock)
+    start1, end1 = stream.schedule(100, name="k1")
+    start2, end2 = stream.schedule(50, name="k2")
+    assert (start1, end1) == (0, 100)
+    assert (start2, end2) == (100, 150)
+    assert stream.busy_time_ns() == 150
+    assert stream.idle_time_ns() == 0
+
+
+def test_stream_start_waits_for_device_time():
+    clock = DeviceClock()
+    stream = Stream("copy", clock)
+    stream.schedule(10)
+    clock.advance(100)
+    start, end = stream.schedule(10)
+    assert start == 100
+    assert stream.idle_time_ns() == 90
+
+
+def test_stream_synchronize_advances_clock():
+    clock = DeviceClock()
+    stream = Stream("compute", clock)
+    stream.schedule(500)
+    assert clock.now_ns == 0
+    stream.synchronize()
+    assert clock.now_ns == 500
+    # Synchronizing an already-drained stream is a no-op.
+    stream.synchronize()
+    assert clock.now_ns == 500
+
+
+def test_stream_rejects_negative_duration():
+    stream = Stream("compute", DeviceClock())
+    with pytest.raises(ValueError):
+        stream.schedule(-1)
+
+
+def test_stream_ops_get_default_names():
+    stream = Stream("s", DeviceClock())
+    stream.schedule(1)
+    stream.schedule(1, name="named")
+    assert stream.ops[0].name == "s-op0"
+    assert stream.ops[1].name == "named"
+    assert stream.ops[1].duration_ns == 1

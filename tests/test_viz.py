@@ -1,0 +1,107 @@
+"""Tests for the ASCII renderers and figure-data export."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.gantt import build_gantt_chart
+from repro.core.stats import empirical_cdf, violin_stats
+from repro.viz import (
+    export_figure_data,
+    render_cdf,
+    render_gantt,
+    render_scatter,
+    render_stacked_bars,
+    render_table,
+    render_violin,
+    write_csv_rows,
+    write_json,
+)
+
+
+def test_render_gantt_contains_bars_and_footer(simple_trace):
+    chart = build_gantt_chart(simple_trace)
+    text = render_gantt(chart, width=60, max_rows=10)
+    assert "#" in text
+    assert "lifetimes" in text
+    assert len(text.splitlines()) >= len(chart.rectangles) + 1
+
+
+def test_render_gantt_empty_chart():
+    from repro.core.gantt import GanttChart
+    assert "empty" in render_gantt(GanttChart(rectangles=[], iteration_bounds=[], end_ns=0))
+
+
+def test_render_cdf_axes_and_points():
+    cdf = empirical_cdf(np.linspace(1, 100, 50))
+    text = render_cdf(cdf, width=40, height=10)
+    assert "1.0 |" in text
+    assert "0.0 |" in text
+    assert "*" in text
+    assert "ATI (us)" in text
+    assert "empty" in render_cdf(empirical_cdf([]))
+
+
+def test_render_violin_rows_per_kind():
+    violins = {
+        "read": violin_stats([1, 2, 3, 4, 100], label="read"),
+        "write": violin_stats([5, 6, 7], label="write"),
+    }
+    text = render_violin(violins)
+    assert "read" in text and "write" in text
+    assert "O" in text           # median marker
+    assert "(no violin data)" in render_violin({})
+
+
+def test_render_scatter_marks_outliers():
+    points = [(float(i), float(i % 7)) for i in range(50)]
+    text = render_scatter(points, highlight=[(10.0, 3.0)])
+    assert "@" in text
+    assert "*" in text
+    assert "(no points)" == render_scatter([])
+
+
+def test_render_stacked_bars_uses_bucket_symbols():
+    rows = [
+        {"label": "alexnet", "input data": 0.05, "parameters": 0.25,
+         "intermediate results": 0.70, "total_bytes": 1024},
+        {"label": "resnet50", "input data": 0.02, "parameters": 0.10,
+         "intermediate results": 0.88, "total_bytes": 2048},
+    ]
+    text = render_stacked_bars(rows, ("input data", "parameters", "intermediate results"),
+                               label_key="label", width=40)
+    assert "#" in text and "P" in text
+    assert "alexnet" in text and "resnet50" in text
+    assert "legend" in text
+
+
+def test_render_table_alignment_and_floats():
+    rows = [{"name": "a", "value": 0.123456}, {"name": "bb", "value": 2.0}]
+    text = render_table(rows)
+    lines = text.splitlines()
+    assert lines[0].strip().startswith("name")
+    assert "0.123" in text
+    assert "(empty table)" == render_table([])
+
+
+def test_write_json_and_csv(tmp_path):
+    data = {"x": 1, "nested": {"y": [1, 2, 3]}}
+    path = write_json(data, tmp_path / "out" / "data.json")
+    assert json.loads(path.read_text())["x"] == 1
+
+    rows = [{"a": 1, "b": "two"}, {"a": 3, "b": "four"}]
+    csv_path = write_csv_rows(rows, tmp_path / "rows.csv")
+    lines = csv_path.read_text().splitlines()
+    assert lines[0] == "a,b"
+    assert len(lines) == 3
+    empty_path = write_csv_rows([], tmp_path / "empty.csv")
+    assert empty_path.read_text() == ""
+
+
+def test_export_figure_data_writes_both_formats(tmp_path):
+    rows = [{"batch_size": 32, "intermediate results": 0.4}]
+    paths = export_figure_data("fig6", rows, output_dir=tmp_path / "figures")
+    assert paths["csv"].exists()
+    assert paths["json"].exists()
+    assert json.loads(paths["json"].read_text())[0]["batch_size"] == 32
