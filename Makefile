@@ -1,0 +1,17 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
+
+.PHONY: test bench sweep-smoke clean-cache
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ -q
+
+sweep-smoke:
+	$(PYTHON) -m repro sweep --models mlp --batch-sizes 16,32 \
+		--allocators caching,bump --dry-run
+
+clean-cache:
+	rm -rf .repro_cache

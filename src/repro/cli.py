@@ -13,6 +13,12 @@ Three subcommands cover the common workflows without writing any Python:
 ``python -m repro figure fig6``
     Regenerate one of the paper's figures (``fig2`` … ``fig7``, ``eq1``,
     ``swap``) and print its ASCII rendering / table.
+
+``python -m repro sweep --models alexnet,resnet18 --batch-sizes 32,64,128,256``
+    Expand a scenario grid (model × batch size × iterations × allocator ×
+    swap policy × device), run it across worker processes with on-disk result
+    caching and print the tidy summary table.  ``--dry-run`` prints the
+    expanded scenarios without running anything.
 """
 
 from __future__ import annotations
@@ -58,6 +64,46 @@ def _build_parser() -> argparse.ArgumentParser:
     figure = subparsers.add_parser("figure", help="regenerate one paper figure")
     figure.add_argument("name", choices=("fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
                                          "eq1", "swap"))
+
+    sweep = subparsers.add_parser(
+        "sweep", help="run a scenario grid in parallel with result caching")
+    sweep.add_argument("--models", default="mlp",
+                       help="comma-separated model names (see `repro list`)")
+    sweep.add_argument("--batch-sizes", default="64",
+                       help="comma-separated batch sizes")
+    sweep.add_argument("--iterations", default="2",
+                       help="comma-separated iteration counts")
+    sweep.add_argument("--allocators", default="caching",
+                       help="comma-separated allocator policies "
+                            "(caching, best_fit, bump)")
+    sweep.add_argument("--swap-policies", default="none",
+                       help="comma-separated swap policies "
+                            "(none, planner, swap_advisor, zero_offload)")
+    sweep.add_argument("--devices", default="titan_x_pascal",
+                       help="comma-separated device presets")
+    sweep.add_argument("--seeds", default="0", help="comma-separated RNG seeds")
+    sweep.add_argument("--dataset", default="two_cluster",
+                       choices=sorted(DATASET_PRESETS))
+    sweep.add_argument("--execution-mode", default="virtual",
+                       choices=("eager", "virtual"))
+    sweep.add_argument("--input-size", type=int, default=None,
+                       help="model input resolution (conv models only)")
+    sweep.add_argument("--num-classes", type=int, default=None)
+    sweep.add_argument("--device-memory-gib", type=float, default=None,
+                       help="override the device memory capacity (GiB)")
+    sweep.add_argument("--workers", type=int, default=1,
+                       help="worker processes (1 = serial)")
+    sweep.add_argument("--cache-dir", default=None, metavar="PATH",
+                       help="result cache directory "
+                            "(default: $REPRO_SWEEP_CACHE or .repro_cache/sweeps)")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="ignore and do not read cached results")
+    sweep.add_argument("--clear-cache", action="store_true",
+                       help="delete cached results before running")
+    sweep.add_argument("--dry-run", action="store_true",
+                       help="print the expanded scenarios and exit")
+    sweep.add_argument("--json", action="store_true", dest="as_json",
+                       help="print the tidy rows as JSON instead of a table")
     return parser
 
 
@@ -150,6 +196,84 @@ def _cmd_figure(name: str) -> int:
     return 0
 
 
+def _split_csv(value: str, cast=str) -> list:
+    """Parse a comma-separated CLI value into a list of ``cast``ed entries."""
+    return [cast(part.strip()) for part in str(value).split(",") if part.strip()]
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from .experiments.sweep import SWAP_POLICIES, SweepGrid, SweepRunner, default_cache_dir
+    from .units import GIB
+
+    # Validate the comma-separated dimensions up front: a typo must fail with
+    # a clean message before any scenario (or worker process) starts.
+    dimension_choices = (
+        ("--models", _split_csv(args.models), set(available_models())),
+        ("--allocators", _split_csv(args.allocators), {"caching", "best_fit", "bump"}),
+        ("--swap-policies", _split_csv(args.swap_policies), set(SWAP_POLICIES)),
+        ("--devices", _split_csv(args.devices), set(DEVICE_PRESETS)),
+    )
+    for flag, values, known in dimension_choices:
+        unknown = [value for value in values if value not in known]
+        if unknown:
+            print(f"error: {flag}: unknown value(s) {', '.join(unknown)} "
+                  f"(choose from {', '.join(sorted(known))})", file=sys.stderr)
+            return 2
+    try:
+        batch_sizes = _split_csv(args.batch_sizes, int)
+        iterations = _split_csv(args.iterations, int)
+        seeds = _split_csv(args.seeds, int)
+    except ValueError as error:
+        print(f"error: --batch-sizes/--iterations/--seeds must be comma-separated "
+              f"integers ({error})", file=sys.stderr)
+        return 2
+
+    model_kwargs = {}
+    if args.input_size is not None:
+        model_kwargs["input_size"] = args.input_size
+    if args.num_classes is not None:
+        model_kwargs["num_classes"] = args.num_classes
+    grid = SweepGrid(
+        models=_split_csv(args.models),
+        batch_sizes=batch_sizes,
+        iterations=iterations,
+        allocators=_split_csv(args.allocators),
+        swap_policies=_split_csv(args.swap_policies),
+        device_specs=_split_csv(args.devices),
+        seeds=seeds,
+        dataset=args.dataset,
+        execution_mode=args.execution_mode,
+        model_kwargs=model_kwargs,
+        device_memory_capacity=(int(args.device_memory_gib * GIB)
+                                if args.device_memory_gib is not None else None),
+    )
+    scenarios = grid.expand()
+    if args.dry_run:
+        print(f"{len(scenarios)} scenario(s):")
+        for scenario in scenarios:
+            print("  " + scenario.describe())
+        return 0
+
+    cache_dir = args.cache_dir if args.cache_dir is not None else default_cache_dir()
+    runner = SweepRunner(cache_dir=cache_dir, workers=args.workers,
+                         use_cache=not args.no_cache)
+    if args.clear_cache:
+        removed = runner.clear_cache()
+        print(f"cleared {removed} cached result(s)")
+    result = runner.run(scenarios)
+
+    if args.as_json:
+        print(json_module.dumps(result.rows(), indent=2, default=str))
+    else:
+        print(result.summary_table())
+    print(f"\n{len(result)} scenario(s) in {result.wall_time_s:.2f}s "
+          f"({result.cache_hits} cached, {result.cache_misses} executed, "
+          f"workers={args.workers}, cache={cache_dir})")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -159,6 +283,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_profile(args)
     if args.command == "figure":
         return _cmd_figure(args.name)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     return 2
 
 

@@ -19,7 +19,7 @@ import numpy as np
 
 from ..units import ns_to_us
 from .events import MemoryCategory, MemoryEvent, MemoryEventKind
-from .trace import MemoryTrace
+from .trace import CATEGORY_FROM_CODE, KIND_FROM_CODE, MemoryTrace
 
 
 @dataclass(frozen=True)
@@ -84,6 +84,93 @@ class AtiSummary:
         }
 
 
+@dataclass(frozen=True)
+class IntervalArrays:
+    """Column-oriented ATI samples (one entry per adjacent access pair).
+
+    This is the vectorized core of the ATI analysis: pairing, gap
+    computation and filtering are NumPy bulk operations over the trace's
+    column store.  ``start_index``/``end_index`` are positions into
+    ``trace.events`` so that object-level consumers (:func:`compute_access_intervals`)
+    can materialize :class:`AccessInterval` records without re-deriving the
+    pairing, while array-level consumers (the sweep engine, Eq.-1 feasibility
+    screening) never touch Python objects at all.
+    """
+
+    block_id: np.ndarray       # int64
+    size: np.ndarray           # int64 (bytes touched by the closing access)
+    category_code: np.ndarray  # int64
+    interval_ns: np.ndarray    # int64
+    start_event_id: np.ndarray  # int64
+    end_event_id: np.ndarray   # int64
+    start_kind_code: np.ndarray  # int64
+    end_kind_code: np.ndarray  # int64
+    iteration: np.ndarray      # int64
+    start_index: np.ndarray    # int64, positions into trace.events
+    end_index: np.ndarray      # int64, positions into trace.events
+
+    def __len__(self) -> int:
+        return int(self.interval_ns.size)
+
+    @property
+    def interval_us(self) -> np.ndarray:
+        """The ATIs in microseconds (the unit the paper reports)."""
+        return self.interval_ns / 1_000.0
+
+
+def compute_interval_arrays(trace: MemoryTrace, include_lifecycle: bool = False,
+                            min_interval_ns: int = 0) -> IntervalArrays:
+    """Vectorized ATI extraction: every adjacent same-block access pair.
+
+    Pairs are formed per block in event order (a stable sort by block id
+    preserves the stream order within each block), gaps below
+    ``min_interval_ns`` are dropped and the result is ordered by the closing
+    event's id — identical semantics to the historical per-block Python loop,
+    at NumPy speed.
+    """
+    trace.require_events()
+    cols = trace.columns()
+    if include_lifecycle:
+        mask = cols.is_block_behavior
+    else:
+        mask = cols.is_access
+    mask = mask & (cols.block_id > 0)
+    positions = np.flatnonzero(mask)
+
+    empty = np.array([], dtype=np.int64)
+    if positions.size < 2:
+        return IntervalArrays(*(empty.copy() for _ in range(11)))
+
+    blocks = cols.block_id[positions]
+    order = np.argsort(blocks, kind="stable")
+    sorted_positions = positions[order]
+    sorted_blocks = blocks[order]
+
+    adjacent = sorted_blocks[1:] == sorted_blocks[:-1]
+    start_pos = sorted_positions[:-1][adjacent]
+    end_pos = sorted_positions[1:][adjacent]
+    gaps = cols.timestamp_ns[end_pos] - cols.timestamp_ns[start_pos]
+    if min_interval_ns > 0:
+        keep = gaps >= min_interval_ns
+        start_pos, end_pos, gaps = start_pos[keep], end_pos[keep], gaps[keep]
+
+    final = np.argsort(cols.event_id[end_pos], kind="stable")
+    start_pos, end_pos, gaps = start_pos[final], end_pos[final], gaps[final]
+    return IntervalArrays(
+        block_id=cols.block_id[end_pos],
+        size=cols.size[end_pos],
+        category_code=cols.category_code[end_pos],
+        interval_ns=gaps,
+        start_event_id=cols.event_id[start_pos],
+        end_event_id=cols.event_id[end_pos],
+        start_kind_code=cols.kind_code[start_pos],
+        end_kind_code=cols.kind_code[end_pos],
+        iteration=cols.iteration[end_pos],
+        start_index=start_pos,
+        end_index=end_pos,
+    )
+
+
 def compute_access_intervals(trace: MemoryTrace, include_lifecycle: bool = False,
                              min_interval_ns: int = 0) -> List[AccessInterval]:
     """Compute every ATI in a trace.
@@ -100,31 +187,21 @@ def compute_access_intervals(trace: MemoryTrace, include_lifecycle: bool = False
     min_interval_ns:
         Drop intervals shorter than this (0 keeps everything).
     """
-    trace.require_events()
-    intervals: List[AccessInterval] = []
-    for block_id, events in trace.events_by_block().items():
-        if include_lifecycle:
-            relevant = [e for e in events if e.kind.is_block_behavior]
-        else:
-            relevant = [e for e in events if e.kind.is_access]
-        for previous, current in zip(relevant, relevant[1:]):
-            gap = current.timestamp_ns - previous.timestamp_ns
-            if gap < min_interval_ns:
-                continue
-            intervals.append(AccessInterval(
-                block_id=block_id,
-                size=current.size,
-                category=current.category,
-                tag=current.tag,
-                interval_ns=gap,
-                start_event_id=previous.event_id,
-                end_event_id=current.event_id,
-                start_kind=previous.kind,
-                end_kind=current.kind,
-                iteration=current.iteration,
-            ))
-    intervals.sort(key=lambda interval: interval.end_event_id)
-    return intervals
+    arrays = compute_interval_arrays(trace, include_lifecycle=include_lifecycle,
+                                     min_interval_ns=min_interval_ns)
+    events = trace.events
+    return [AccessInterval(
+        block_id=int(arrays.block_id[i]),
+        size=int(arrays.size[i]),
+        category=CATEGORY_FROM_CODE[int(arrays.category_code[i])],
+        tag=events[int(arrays.end_index[i])].tag,
+        interval_ns=int(arrays.interval_ns[i]),
+        start_event_id=int(arrays.start_event_id[i]),
+        end_event_id=int(arrays.end_event_id[i]),
+        start_kind=KIND_FROM_CODE[int(arrays.start_kind_code[i])],
+        end_kind=KIND_FROM_CODE[int(arrays.end_kind_code[i])],
+        iteration=int(arrays.iteration[i]),
+    ) for i in range(len(arrays))]
 
 
 def intervals_by_kind(intervals: Sequence[AccessInterval]) -> Dict[str, List[AccessInterval]]:
@@ -143,31 +220,47 @@ def intervals_by_category(intervals: Sequence[AccessInterval]) -> Dict[str, List
     return grouped
 
 
-def summarize_intervals(intervals: Sequence[AccessInterval]) -> AtiSummary:
-    """Distribution summary (mean / percentiles) of a set of ATIs."""
-    if not intervals:
+def summarize_values_us(values: np.ndarray) -> AtiSummary:
+    """Distribution summary of raw ATI values in microseconds (one percentile pass)."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
         return AtiSummary(count=0, mean_us=0.0, p50_us=0.0, p90_us=0.0, p99_us=0.0,
                           min_us=0.0, max_us=0.0)
-    values = np.array([interval.interval_us for interval in intervals], dtype=np.float64)
+    p50, p90, p99 = np.percentile(values, (50, 90, 99))
     return AtiSummary(
         count=int(values.size),
         mean_us=float(values.mean()),
-        p50_us=float(np.percentile(values, 50)),
-        p90_us=float(np.percentile(values, 90)),
-        p99_us=float(np.percentile(values, 99)),
+        p50_us=float(p50),
+        p90_us=float(p90),
+        p99_us=float(p99),
         min_us=float(values.min()),
         max_us=float(values.max()),
     )
 
 
-def fraction_below(intervals: Sequence[AccessInterval], threshold_us: float) -> float:
+def summarize_intervals(intervals) -> AtiSummary:
+    """Distribution summary (mean / percentiles) of a set of ATIs.
+
+    Accepts either a sequence of :class:`AccessInterval` objects or an
+    :class:`IntervalArrays` column set.
+    """
+    return summarize_values_us(interval_values_us(intervals))
+
+
+def fraction_below(intervals, threshold_us: float) -> float:
     """Fraction of ATIs below ``threshold_us`` (the paper's "90% below 25us" claim)."""
-    if not intervals:
+    values = interval_values_us(intervals)
+    if values.size == 0:
         return 0.0
-    values = np.array([interval.interval_us for interval in intervals])
     return float(np.mean(values <= threshold_us))
 
 
-def interval_values_us(intervals: Sequence[AccessInterval]) -> np.ndarray:
-    """The raw ATI values in microseconds as a NumPy array."""
+def interval_values_us(intervals) -> np.ndarray:
+    """The raw ATI values in microseconds as a NumPy array.
+
+    Accepts either a sequence of :class:`AccessInterval` objects or an
+    :class:`IntervalArrays` column set (returned as-is, no copy).
+    """
+    if isinstance(intervals, IntervalArrays):
+        return intervals.interval_us
     return np.array([interval.interval_us for interval in intervals], dtype=np.float64)

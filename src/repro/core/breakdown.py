@@ -14,9 +14,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from ..units import format_bytes
-from .events import MemoryCategory, MemoryEventKind, PAPER_BUCKETS
-from .trace import MemoryTrace
+from .events import PAPER_BUCKETS
+from .trace import CATEGORY_FROM_CODE, MemoryTrace
 
 
 @dataclass
@@ -52,6 +54,21 @@ class OccupationBreakdown:
             "category_peak_bytes": dict(self.category_peak_bytes),
         }
 
+    @staticmethod
+    def from_dict(data: Dict[str, object]) -> "OccupationBreakdown":
+        """Reconstruct a breakdown from :meth:`to_dict` output (sweep-cache path)."""
+        return OccupationBreakdown(
+            label=str(data.get("label", "")),
+            peak_time_ns=int(data.get("peak_time_ns", 0)),
+            total_bytes=int(data.get("total_bytes", 0)),
+            bucket_bytes={str(k): int(v)
+                          for k, v in dict(data.get("bucket_bytes", {})).items()},
+            category_bytes={str(k): int(v)
+                            for k, v in dict(data.get("category_bytes", {})).items()},
+            category_peak_bytes={str(k): int(v)
+                                 for k, v in dict(data.get("category_peak_bytes", {})).items()},
+        )
+
     def format_row(self) -> str:
         """One human-readable row: label, total and per-bucket shares."""
         shares = ", ".join(
@@ -63,39 +80,43 @@ class OccupationBreakdown:
 
 
 def occupation_breakdown(trace: MemoryTrace, label: str = "") -> OccupationBreakdown:
-    """Compute the paper's three-way breakdown at the point of peak occupancy."""
+    """Compute the paper's three-way breakdown at the point of peak occupancy.
+
+    Vectorized: the live-bytes walk is a cumulative sum over the malloc/free
+    event columns; the peak instant is the first maximum of the total, and the
+    per-category attribution is one cumulative sum per category that appears
+    in the trace (at most nine).
+    """
     trace.require_events()
-    live_by_category: Dict[MemoryCategory, int] = {}
-    live_total = 0
-    peak_total = -1
-    peak_time = 0
-    peak_by_category: Dict[MemoryCategory, int] = {}
-    running_peak_by_category: Dict[MemoryCategory, int] = {}
-
-    for event in trace.events:
-        if event.kind is MemoryEventKind.MALLOC:
-            live_by_category[event.category] = live_by_category.get(event.category, 0) + event.size
-            live_total += event.size
-        elif event.kind is MemoryEventKind.FREE:
-            live_by_category[event.category] = live_by_category.get(event.category, 0) - event.size
-            live_total -= event.size
-        else:
-            continue
-        for category, size in live_by_category.items():
-            if size > running_peak_by_category.get(category, 0):
-                running_peak_by_category[category] = size
-        if live_total > peak_total:
-            peak_total = live_total
-            peak_time = event.timestamp_ns
-            peak_by_category = dict(live_by_category)
-
+    cols = trace.columns()
+    mask = cols.is_malloc | cols.is_free
     bucket_bytes: Dict[str, int] = {bucket: 0 for bucket in PAPER_BUCKETS}
+    if not mask.any():
+        return OccupationBreakdown(label=label, peak_time_ns=0, total_bytes=0,
+                                   bucket_bytes=bucket_bytes, category_bytes={},
+                                   category_peak_bytes={})
+
+    deltas = cols.live_deltas()[mask]
+    categories = cols.category_code[mask]
+    timestamps = cols.timestamp_ns[mask]
+
+    live_total = np.cumsum(deltas)
+    peak_index = int(np.argmax(live_total))          # first occurrence of the max
+    peak_total = int(live_total[peak_index])
+    peak_time = int(timestamps[peak_index])
+
     category_bytes: Dict[str, int] = {}
-    for category, size in peak_by_category.items():
-        if size <= 0:
-            continue
-        category_bytes[category.value] = size
-        bucket_bytes[category.paper_bucket()] += size
+    category_peak_bytes: Dict[str, int] = {}
+    for code in np.unique(categories):
+        category = CATEGORY_FROM_CODE[int(code)]
+        live = np.cumsum(np.where(categories == code, deltas, 0))
+        live_at_peak = int(live[peak_index])
+        if live_at_peak > 0:
+            category_bytes[category.value] = live_at_peak
+            bucket_bytes[category.paper_bucket()] += live_at_peak
+        running_peak = int(live.max())
+        if running_peak > 0:
+            category_peak_bytes[category.value] = running_peak
 
     return OccupationBreakdown(
         label=label,
@@ -103,8 +124,7 @@ def occupation_breakdown(trace: MemoryTrace, label: str = "") -> OccupationBreak
         total_bytes=max(0, peak_total),
         bucket_bytes=bucket_bytes,
         category_bytes=category_bytes,
-        category_peak_bytes={category.value: size
-                             for category, size in running_peak_by_category.items() if size > 0},
+        category_peak_bytes=category_peak_bytes,
     )
 
 

@@ -37,9 +37,10 @@ class CdfResult:
         """Evenly spaced ``(value, cumulative_probability)`` points for plotting."""
         if self.values.size == 0:
             return []
-        indices = np.linspace(0, self.values.size - 1, num=min(num_points, self.values.size))
-        return [(float(self.values[int(i)]), float(self.probabilities[int(i)]))
-                for i in indices]
+        indices = np.linspace(0, self.values.size - 1,
+                              num=min(num_points, self.values.size)).astype(np.int64)
+        return list(zip(self.values[indices].astype(float).tolist(),
+                        self.probabilities[indices].astype(float).tolist()))
 
 
 def empirical_cdf(samples: Sequence[float]) -> CdfResult:

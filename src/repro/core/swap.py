@@ -23,8 +23,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
 from ..units import GB, MIB, format_bytes, format_duration, ns_to_us
-from .ati import AccessInterval
+from .ati import AccessInterval, IntervalArrays
 from .trace import MemoryTrace
 
 
@@ -46,27 +48,42 @@ class BandwidthConfig:
         return BandwidthConfig(h2d_bytes_per_s=spec.h2d_bandwidth,
                                d2h_bytes_per_s=spec.d2h_bandwidth)
 
+    @property
+    def round_trip_s_per_byte(self) -> float:
+        """Eq. 1's denominator: seconds to move one byte out to the host and back."""
+        return 1.0 / self.d2h_bytes_per_s + 1.0 / self.h2d_bytes_per_s
+
 
 def max_swap_bytes(ati_ns: float, bandwidths: BandwidthConfig) -> float:
     """Equation 1: the largest block swappable within ``ati_ns`` at no runtime cost."""
     if ati_ns <= 0:
         return 0.0
-    ati_s = ati_ns / 1e9
-    denominator = 1.0 / bandwidths.d2h_bytes_per_s + 1.0 / bandwidths.h2d_bytes_per_s
-    return ati_s / denominator
+    return (ati_ns / 1e9) / bandwidths.round_trip_s_per_byte
 
 
 def swap_round_trip_ns(nbytes: float, bandwidths: BandwidthConfig) -> float:
     """Time to evict ``nbytes`` to the host and bring them back."""
     if nbytes <= 0:
         return 0.0
-    seconds = nbytes / bandwidths.d2h_bytes_per_s + nbytes / bandwidths.h2d_bytes_per_s
-    return seconds * 1e9
+    return nbytes * bandwidths.round_trip_s_per_byte * 1e9
 
 
 def is_swappable(interval: AccessInterval, bandwidths: BandwidthConfig) -> bool:
     """Whether the block of ``interval`` can be swapped within its ATI (Eq. 1)."""
     return interval.size <= max_swap_bytes(interval.interval_ns, bandwidths)
+
+
+def swappable_mask(arrays: IntervalArrays, bandwidths: BandwidthConfig) -> np.ndarray:
+    """Vectorized Eq. 1 over an :class:`~repro.core.ati.IntervalArrays` column set."""
+    limits = np.maximum(arrays.interval_ns, 0) / 1e9 / bandwidths.round_trip_s_per_byte
+    return arrays.size <= limits
+
+
+def swappable_fraction(arrays: IntervalArrays, bandwidths: BandwidthConfig) -> float:
+    """Fraction of ATIs whose block fits through Eq. 1 (0.0 for an empty set)."""
+    if len(arrays) == 0:
+        return 0.0
+    return float(np.mean(swappable_mask(arrays, bandwidths)))
 
 
 @dataclass

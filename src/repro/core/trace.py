@@ -15,6 +15,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
+import numpy as np
+
 from ..errors import EmptyTraceError, TraceFormatError
 from .events import BlockLifetime, IterationMark, MemoryCategory, MemoryEvent, MemoryEventKind
 
@@ -22,6 +24,71 @@ PathLike = Union[str, Path]
 
 #: Current on-disk format version.
 TRACE_FORMAT_VERSION = 1
+
+#: Stable integer codes for event kinds / categories, used by the column store.
+KIND_CODES: Dict[MemoryEventKind, int] = {kind: i for i, kind in enumerate(MemoryEventKind)}
+KIND_FROM_CODE: List[MemoryEventKind] = list(MemoryEventKind)
+CATEGORY_CODES: Dict[MemoryCategory, int] = {cat: i for i, cat in enumerate(MemoryCategory)}
+CATEGORY_FROM_CODE: List[MemoryCategory] = list(MemoryCategory)
+
+_MALLOC_CODE = KIND_CODES[MemoryEventKind.MALLOC]
+_FREE_CODE = KIND_CODES[MemoryEventKind.FREE]
+_READ_CODE = KIND_CODES[MemoryEventKind.READ]
+_WRITE_CODE = KIND_CODES[MemoryEventKind.WRITE]
+
+#: Codes of the paper's four block-level behaviors.
+BLOCK_BEHAVIOR_CODES = np.array(
+    [_MALLOC_CODE, _FREE_CODE, _READ_CODE, _WRITE_CODE], dtype=np.int64)
+#: Codes of the data-access behaviors (read/write).
+ACCESS_CODES = np.array([_READ_CODE, _WRITE_CODE], dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class EventColumns:
+    """Column-oriented view of a trace's event stream.
+
+    Every analysis that aggregates over the whole event stream (ATI
+    extraction, occupation breakdown, live-bytes timelines) operates on these
+    NumPy arrays instead of iterating :class:`MemoryEvent` objects — a
+    50-scenario sweep spends its time in these bulk operations, so they must
+    be vectorized.
+    """
+
+    event_id: np.ndarray      # int64
+    kind_code: np.ndarray     # int64, see KIND_CODES
+    timestamp_ns: np.ndarray  # int64
+    block_id: np.ndarray      # int64
+    size: np.ndarray          # int64
+    category_code: np.ndarray  # int64, see CATEGORY_CODES
+    iteration: np.ndarray     # int64
+
+    def __len__(self) -> int:
+        return int(self.event_id.size)
+
+    @property
+    def is_malloc(self) -> np.ndarray:
+        """Boolean mask of malloc events."""
+        return self.kind_code == _MALLOC_CODE
+
+    @property
+    def is_free(self) -> np.ndarray:
+        """Boolean mask of free events."""
+        return self.kind_code == _FREE_CODE
+
+    @property
+    def is_access(self) -> np.ndarray:
+        """Boolean mask of read/write events."""
+        return (self.kind_code == _READ_CODE) | (self.kind_code == _WRITE_CODE)
+
+    @property
+    def is_block_behavior(self) -> np.ndarray:
+        """Boolean mask of the paper's four block-level behaviors."""
+        return np.isin(self.kind_code, BLOCK_BEHAVIOR_CODES)
+
+    def live_deltas(self) -> np.ndarray:
+        """Per-event change in live bytes (+size on malloc, -size on free)."""
+        return np.where(self.is_malloc, self.size,
+                        np.where(self.is_free, -self.size, 0))
 
 
 @dataclass
@@ -33,6 +100,41 @@ class MemoryTrace:
     iteration_marks: List[IterationMark] = field(default_factory=list)
     metadata: Dict[str, object] = field(default_factory=dict)
     end_ns: int = 0
+
+    # -- column store -------------------------------------------------------------------
+
+    def columns(self) -> EventColumns:
+        """Column-oriented NumPy view of the event stream (built lazily, cached).
+
+        A trace is immutable once the profiler finalizes it; the cache is
+        keyed on the event count so a recorder that is still appending events
+        (``profiler.trace()`` mid-run) gets a fresh view.
+        """
+        cached = getattr(self, "_columns_cache", None)
+        if cached is not None and len(cached) == len(self.events):
+            return cached
+        n = len(self.events)
+        event_id = np.empty(n, dtype=np.int64)
+        kind_code = np.empty(n, dtype=np.int64)
+        timestamp_ns = np.empty(n, dtype=np.int64)
+        block_id = np.empty(n, dtype=np.int64)
+        size = np.empty(n, dtype=np.int64)
+        category_code = np.empty(n, dtype=np.int64)
+        iteration = np.empty(n, dtype=np.int64)
+        for i, event in enumerate(self.events):
+            event_id[i] = event.event_id
+            kind_code[i] = KIND_CODES[event.kind]
+            timestamp_ns[i] = event.timestamp_ns
+            block_id[i] = event.block_id
+            size[i] = event.size
+            category_code[i] = CATEGORY_CODES[event.category]
+            iteration[i] = event.iteration
+        columns = EventColumns(event_id=event_id, kind_code=kind_code,
+                               timestamp_ns=timestamp_ns, block_id=block_id,
+                               size=size, category_code=category_code,
+                               iteration=iteration)
+        self._columns_cache = columns
+        return columns
 
     # -- basic accessors ----------------------------------------------------------------
 
@@ -80,7 +182,10 @@ class MemoryTrace:
 
     def block_ids(self) -> List[int]:
         """Identities of all blocks that appear in the trace (sorted)."""
-        return sorted({event.block_id for event in self.events if event.block_id > 0})
+        if not self.events:
+            return []
+        ids = self.columns().block_id
+        return [int(b) for b in np.unique(ids[ids > 0])]
 
     def events_by_block(self) -> Dict[int, List[MemoryEvent]]:
         """Group block-level behaviors by block id (insertion-ordered within a block)."""
@@ -108,36 +213,41 @@ class MemoryTrace:
 
     def counts_by_kind(self) -> Dict[str, int]:
         """Number of events of each kind."""
-        counts: Dict[str, int] = {}
-        for event in self.events:
-            counts[event.kind.value] = counts.get(event.kind.value, 0) + 1
-        return counts
+        if not self.events:
+            return {}
+        codes, counts = np.unique(self.columns().kind_code, return_counts=True)
+        return {KIND_FROM_CODE[int(code)].value: int(count)
+                for code, count in zip(codes, counts)}
 
     def counts_by_category(self) -> Dict[str, int]:
         """Number of block-level behaviors per memory category."""
-        counts: Dict[str, int] = {}
-        for event in self.block_behaviors():
-            counts[event.category.value] = counts.get(event.category.value, 0) + 1
-        return counts
+        if not self.events:
+            return {}
+        cols = self.columns()
+        cats = cols.category_code[cols.is_block_behavior]
+        codes, counts = np.unique(cats, return_counts=True)
+        return {CATEGORY_FROM_CODE[int(code)].value: int(count)
+                for code, count in zip(codes, counts)}
+
+    def live_bytes_series(self) -> "tuple[np.ndarray, np.ndarray]":
+        """``(timestamps_ns, live_bytes)`` arrays after every malloc/free event."""
+        if not self.events:
+            return np.array([], dtype=np.int64), np.array([], dtype=np.int64)
+        cols = self.columns()
+        mask = cols.is_malloc | cols.is_free
+        return cols.timestamp_ns[mask], np.cumsum(cols.live_deltas()[mask])
 
     def live_bytes_timeline(self) -> List[tuple]:
         """``(timestamp_ns, live_bytes)`` after every malloc/free event."""
-        live = 0
-        timeline = []
-        for event in self.events:
-            if event.kind is MemoryEventKind.MALLOC:
-                live += event.size
-            elif event.kind is MemoryEventKind.FREE:
-                live -= event.size
-            else:
-                continue
-            timeline.append((event.timestamp_ns, live))
-        return timeline
+        timestamps, live = self.live_bytes_series()
+        return [(int(ts), int(bytes_)) for ts, bytes_ in zip(timestamps, live)]
 
     def peak_live_bytes(self) -> int:
         """Highest number of simultaneously allocated bytes."""
-        timeline = self.live_bytes_timeline()
-        return max((live for _, live in timeline), default=0)
+        _, live = self.live_bytes_series()
+        if live.size == 0:
+            return 0
+        return int(live.max())
 
     # -- persistence -----------------------------------------------------------------------
 

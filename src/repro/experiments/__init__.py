@@ -22,6 +22,15 @@ from .fig5_breakdown import DEFAULT_FIG5_WORKLOADS, Fig5Result, run_fig5
 from .fig6_alexnet import DEFAULT_FIG6_BATCH_SIZES, Fig6Result, run_fig6
 from .fig7_resnet import DEFAULT_FIG7_BATCH_SIZE, DEFAULT_FIG7_DEPTHS, Fig7Result, run_fig7
 from .swap_planner import SwapPlannerResult, run_swap_planner
+from .sweep import (
+    Scenario,
+    ScenarioResult,
+    SweepGrid,
+    SweepResult,
+    SweepRunner,
+    run_scenario,
+    run_sweep,
+)
 
 __all__ = [
     "AllocatorAblationRow",
@@ -41,7 +50,12 @@ __all__ = [
     "PAPER_MLP_HOST_LATENCY",
     "PAPER_MLP_ITERATIONS",
     "PAPER_OPERATING_POINTS_US",
+    "Scenario",
+    "ScenarioResult",
     "SwapPlannerResult",
+    "SweepGrid",
+    "SweepResult",
+    "SweepRunner",
     "TimingAblationRow",
     "breakdown_config",
     "paper_mlp_config",
@@ -53,7 +67,9 @@ __all__ = [
     "run_fig5",
     "run_fig6",
     "run_fig7",
+    "run_scenario",
     "run_swap_planner",
+    "run_sweep",
     "run_timing_ablation",
     "small_mlp_config",
 ]

@@ -10,24 +10,39 @@ The design choices called out in DESIGN.md are quantified here:
 * **A2 — timing-model sensitivity.**  The ATI distribution depends on the
   kernel timing model; sweeping the host dispatch overhead shows how much of
   the small-ATI band is launch/dispatch bound versus data-movement bound.
+
+Both ablations are one-dimensional scenario sweeps, so they are expressed as
+:class:`~repro.experiments.sweep.SweepGrid` grids and executed by the shared
+sweep engine (same caching and parallelism as ``repro sweep``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from ..core.ati import compute_access_intervals, summarize_intervals
-from ..core.fragmentation import analyze_fragmentation
-from ..core.profiler import MemoryProfiler
-from ..data.datasets import TwoClusterDataset
-from ..data.loader import DataLoader, HostLatencyModel
-from ..device.device import Device
-from ..device.spec import titan_x_pascal
-from ..models.mlp import MLP
-from ..nn.loss import CrossEntropyLoss
-from ..nn.optim import SGD
-from ..train.trainer import Trainer
+from ..data.loader import HostLatencyModel
+from .sweep import ScenarioResult, SweepGrid, SweepRunner
+
+#: Host-side latency of the shared ablation workload (fast: the ablations
+#: compare allocator/timing effects, not dataloader behavior).
+ABLATION_HOST_LATENCY = HostLatencyModel(per_batch_ns=500_000, per_sample_ns=5_000,
+                                         per_byte_ns=0.05)
+
+
+def _mlp_ablation_grid(batch_size: int, iterations: int, hidden_dim: int,
+                       **dimensions) -> SweepGrid:
+    """The shared MLP workload, with one sweep dimension supplied by the caller."""
+    return SweepGrid(
+        models=("mlp",),
+        batch_sizes=(batch_size,),
+        iterations=(iterations,),
+        model_kwargs={"hidden_dim": hidden_dim},
+        dataset="two_cluster",
+        execution_mode="virtual",
+        host_latency=ABLATION_HOST_LATENCY,
+        **dimensions,
+    )
 
 
 @dataclass
@@ -56,54 +71,40 @@ class AllocatorAblationRow:
             "mean_utilization": self.mean_utilization,
         }
 
-
-def _run_mlp_workload(device: Device, batch_size: int, iterations: int,
-                      hidden_dim: int) -> MemoryProfiler:
-    """Train a small MLP on ``device`` under a profiler and return the profiler."""
-    profiler = MemoryProfiler(device)
-    with profiler:
-        model = MLP(device, hidden_dim=hidden_dim)
-        dataset = TwoClusterDataset(input_dim=model.input_dim, seed=0)
-        loader = DataLoader(dataset, batch_size=batch_size,
-                            host_latency=HostLatencyModel(per_batch_ns=500_000,
-                                                          per_sample_ns=5_000,
-                                                          per_byte_ns=0.05))
-        loss_fn = CrossEntropyLoss(device, name="loss")
-        optimizer = SGD(model.parameters(), lr=0.01, momentum=0.9)
-        trainer = Trainer(model, loader, optimizer, loss_fn, device, recorder=profiler)
-        trainer.train(iterations)
-    return profiler
+    @staticmethod
+    def from_scenario_result(result: ScenarioResult) -> "AllocatorAblationRow":
+        """Build one ablation row from a sweep scenario result."""
+        stats = result.allocator_stats
+        total_lookups = stats.get("cache_hits", 0) + stats.get("cache_misses", 0)
+        # Reserved-memory counters come from the allocator itself rather than
+        # the trace: the best-fit allocator reserves its whole arena when the
+        # device is constructed, before the profiler attaches.
+        return AllocatorAblationRow(
+            allocator=str(result.scenario["allocator"]),
+            num_events=result.num_events,
+            num_blocks=result.num_blocks,
+            peak_allocated_bytes=stats.get("peak_allocated_bytes",
+                                           result.peak_allocated_bytes),
+            peak_reserved_bytes=stats.get("peak_reserved_bytes",
+                                          result.peak_reserved_bytes),
+            cache_hit_rate=(stats.get("cache_hits", 0) / total_lookups
+                            if total_lookups else 0.0),
+            segment_allocs=stats.get("segment_allocs", 0),
+            mean_utilization=result.mean_utilization,
+        )
 
 
 def run_allocator_ablation(allocators: Sequence[str] = ("caching", "best_fit", "bump"),
                            batch_size: int = 1024, iterations: int = 4,
-                           hidden_dim: int = 2048) -> List[AllocatorAblationRow]:
+                           hidden_dim: int = 2048,
+                           runner: Optional[SweepRunner] = None) -> List[AllocatorAblationRow]:
     """A1: trace the same workload under different allocator policies."""
-    rows: List[AllocatorAblationRow] = []
-    for allocator_name in allocators:
-        device = Device(titan_x_pascal(), allocator=allocator_name, execution_mode="virtual")
-        profiler = _run_mlp_workload(device, batch_size, iterations, hidden_dim)
-        trace = profiler.trace()
-        stats = device.memory_stats()
-        total_lookups = stats["cache_hits"] + stats["cache_misses"]
-        fragmentation = analyze_fragmentation(trace)
-        # Reserved-memory counters come from the allocator itself rather than
-        # the trace: the best-fit allocator reserves its whole arena when the
-        # device is constructed, before the profiler attaches.
-        peak_reserved = stats["peak_reserved_bytes"]
-        peak_allocated = stats["peak_allocated_bytes"]
-        rows.append(AllocatorAblationRow(
-            allocator=allocator_name,
-            num_events=len(trace),
-            num_blocks=len(trace.block_ids()),
-            peak_allocated_bytes=peak_allocated,
-            peak_reserved_bytes=peak_reserved,
-            cache_hit_rate=(stats["cache_hits"] / total_lookups) if total_lookups else 0.0,
-            segment_allocs=stats["segment_allocs"],
-            mean_utilization=(peak_allocated / peak_reserved) if peak_reserved else
-            fragmentation.mean_utilization,
-        ))
-    return rows
+    runner = runner if runner is not None else SweepRunner()
+    grid = _mlp_ablation_grid(batch_size, iterations, hidden_dim,
+                              allocators=tuple(allocators))
+    sweep = runner.run(grid)
+    return [AllocatorAblationRow.from_scenario_result(result)
+            for result in sweep.results]
 
 
 @dataclass
@@ -127,18 +128,17 @@ class TimingAblationRow:
 
 def run_timing_ablation(dispatch_overheads_us: Sequence[float] = (1.0, 6.0, 20.0, 50.0),
                         batch_size: int = 256, iterations: int = 4,
-                        hidden_dim: int = 1024) -> List[TimingAblationRow]:
+                        hidden_dim: int = 1024,
+                        runner: Optional[SweepRunner] = None) -> List[TimingAblationRow]:
     """A2: sweep the host dispatch overhead and report the ATI percentiles."""
-    rows: List[TimingAblationRow] = []
-    for overhead_us in dispatch_overheads_us:
-        device = Device(titan_x_pascal(), execution_mode="virtual",
-                        host_dispatch_overhead_ns=int(overhead_us * 1_000))
-        profiler = _run_mlp_workload(device, batch_size, iterations, hidden_dim)
-        summary = summarize_intervals(compute_access_intervals(profiler.trace()))
-        rows.append(TimingAblationRow(
-            host_dispatch_overhead_us=overhead_us,
-            p50_us=summary.p50_us,
-            p90_us=summary.p90_us,
-            mean_us=summary.mean_us,
-        ))
-    return rows
+    runner = runner if runner is not None else SweepRunner()
+    grid = _mlp_ablation_grid(batch_size, iterations, hidden_dim,
+                              host_dispatch_overheads_ns=tuple(
+                                  int(us * 1_000) for us in dispatch_overheads_us))
+    sweep = runner.run(grid)
+    return [TimingAblationRow(
+        host_dispatch_overhead_us=overhead_us,
+        p50_us=float(result.ati["p50_us"]),
+        p90_us=float(result.ati["p90_us"]),
+        mean_us=float(result.ati["mean_us"]),
+    ) for overhead_us, result in zip(dispatch_overheads_us, sweep.results)]

@@ -1,0 +1,520 @@
+"""Scenario-sweep subsystem: declarative grids, parallel execution, caching.
+
+The paper's methodology is a *characterization*: the same instrumented
+training loop is run across models, batch sizes, allocators and devices, and
+each run is reduced to a handful of numbers (peak memory, ATI distribution,
+swappable fraction, occupation breakdown, step time).  This module makes that
+sweep a first-class operation:
+
+* :class:`SweepGrid` declares the cross product of scenario dimensions and
+  expands it into concrete :class:`Scenario` objects (a
+  :class:`~repro.train.session.TrainingRunConfig` plus a swap policy);
+* :func:`run_scenario` executes one scenario and reduces its trace to a
+  JSON-serializable :class:`ScenarioResult` (the per-scenario *metrics*, not
+  the multi-megabyte trace);
+* :class:`SweepRunner` executes many scenarios across a
+  ``ProcessPoolExecutor`` with a content-addressed on-disk cache — a repeat
+  sweep is served from JSON files in milliseconds;
+* :class:`SweepResult` aggregates the scenario results into a tidy summary
+  table and into the :class:`~repro.core.breakdown.BreakdownSeries` the
+  figure experiments consume.
+
+The figure experiments (``fig6_alexnet``, ``fig7_resnet``) and the ablations
+are thin wrappers over this engine, so ``repro sweep`` on the command line,
+the benchmarks and the tests all share one execution path.
+
+Cache layout
+------------
+``<cache_dir>/<sha256(fingerprint)>.json`` where the fingerprint is the
+canonical JSON of the scenario's configuration plus
+:data:`RESULT_SCHEMA_VERSION`.  Bumping the schema version (or changing any
+config field) invalidates stale entries by construction; nothing is ever
+deleted except by ``repro sweep --clear-cache``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import asdict, dataclass, field
+from functools import partial
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core.ati import compute_access_intervals, compute_interval_arrays, summarize_values_us
+from ..core.breakdown import BreakdownSeries, OccupationBreakdown, occupation_breakdown
+from ..core.fragmentation import analyze_fragmentation
+from ..core.swap import BandwidthConfig, SwapPlanner, swappable_fraction
+from ..train.session import SessionResult, TrainingRunConfig, run_training_session
+from ..units import MIB
+
+#: Version of the cached result schema; bump to invalidate every cache entry.
+RESULT_SCHEMA_VERSION = 1
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_SWEEP_CACHE"
+
+#: Default on-disk cache location (relative to the working directory).
+DEFAULT_CACHE_DIR = Path(".repro_cache") / "sweeps"
+
+#: Swap policies a scenario can be evaluated under.
+SWAP_POLICIES = ("none", "planner", "swap_advisor", "zero_offload")
+
+
+def default_cache_dir() -> Path:
+    """The cache directory (``$REPRO_SWEEP_CACHE`` or ``.repro_cache/sweeps``)."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    return Path(override) if override else DEFAULT_CACHE_DIR
+
+
+# -- scenarios ------------------------------------------------------------------------
+
+
+@dataclass
+class Scenario:
+    """One concrete sweep point: a training configuration plus a swap policy."""
+
+    config: TrainingRunConfig
+    swap_policy: str = "none"
+
+    def fingerprint(self, bandwidths: Optional[BandwidthConfig] = None) -> Dict[str, object]:
+        """Canonical JSON-friendly identity of this scenario (cache key input).
+
+        The cosmetic ``label`` is excluded: two scenarios that run the same
+        workload hit the same cache entry regardless of how they are named.
+        The Eq.-1 bandwidths are *included* (resolved to the paper's defaults
+        when unset): they shape ``swappable_fraction`` and every swap-policy
+        summary, so results computed under different bandwidths must never
+        share a cache entry.
+        """
+        bandwidths = bandwidths if bandwidths is not None else BandwidthConfig.from_paper()
+        config = asdict(self.config)
+        config.pop("label", None)
+        return {
+            "schema_version": RESULT_SCHEMA_VERSION,
+            "swap_policy": self.swap_policy,
+            "bandwidths": {"h2d_bytes_per_s": bandwidths.h2d_bytes_per_s,
+                           "d2h_bytes_per_s": bandwidths.d2h_bytes_per_s},
+            "config": config,
+        }
+
+    def key(self, bandwidths: Optional[BandwidthConfig] = None) -> str:
+        """Content hash of the scenario (the cache file stem)."""
+        canonical = json.dumps(self.fingerprint(bandwidths), sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def describe(self) -> str:
+        """One-line description used by ``repro sweep --dry-run``."""
+        c = self.config
+        return (f"{c.model}/{c.dataset} batch={c.batch_size} iters={c.iterations} "
+                f"alloc={c.allocator} swap={self.swap_policy} device={c.device_spec} "
+                f"mode={c.execution_mode}")
+
+
+@dataclass
+class SweepGrid:
+    """Declarative cross product of scenario dimensions.
+
+    Every field that is a sequence is a sweep dimension; the cross product of
+    all dimensions is expanded by :meth:`expand`.  Scalar fields are shared
+    by every scenario.
+    """
+
+    models: Sequence[str] = ("mlp",)
+    batch_sizes: Sequence[int] = (64,)
+    iterations: Sequence[int] = (2,)
+    allocators: Sequence[str] = ("caching",)
+    swap_policies: Sequence[str] = ("none",)
+    device_specs: Sequence[str] = ("titan_x_pascal",)
+    host_dispatch_overheads_ns: Sequence[Optional[int]] = (None,)
+    seeds: Sequence[int] = (0,)
+    # shared scalars
+    dataset: str = "two_cluster"
+    execution_mode: str = "virtual"
+    model_kwargs: Dict[str, object] = field(default_factory=dict)
+    dataset_kwargs: Dict[str, object] = field(default_factory=dict)
+    optimizer: str = "sgd"
+    device_memory_capacity: Optional[int] = None
+    host_latency: Optional[object] = None  # HostLatencyModel
+
+    def size(self) -> int:
+        """Number of scenarios the grid expands to."""
+        return (len(self.models) * len(self.batch_sizes) * len(self.iterations)
+                * len(self.allocators) * len(self.swap_policies)
+                * len(self.device_specs) * len(self.host_dispatch_overheads_ns)
+                * len(self.seeds))
+
+    def expand(self) -> List[Scenario]:
+        """Expand the grid into concrete scenarios (deterministic order)."""
+        for policy in self.swap_policies:
+            if policy not in SWAP_POLICIES:
+                raise ValueError(
+                    f"unknown swap policy '{policy}'; known policies: {SWAP_POLICIES}")
+        scenarios: List[Scenario] = []
+        for model in self.models:
+            for batch_size in self.batch_sizes:
+                for iterations in self.iterations:
+                    for allocator in self.allocators:
+                        for device_spec in self.device_specs:
+                            for overhead in self.host_dispatch_overheads_ns:
+                                for seed in self.seeds:
+                                    for policy in self.swap_policies:
+                                        config = TrainingRunConfig(
+                                            model=model,
+                                            model_kwargs=dict(self.model_kwargs),
+                                            dataset=self.dataset,
+                                            dataset_kwargs=dict(self.dataset_kwargs),
+                                            batch_size=batch_size,
+                                            iterations=iterations,
+                                            optimizer=self.optimizer,
+                                            device_spec=device_spec,
+                                            allocator=allocator,
+                                            execution_mode=self.execution_mode,
+                                            seed=seed,
+                                            host_latency=self.host_latency,
+                                            device_memory_capacity=self.device_memory_capacity,
+                                            host_dispatch_overhead_ns=overhead,
+                                            label=f"{model}-batch{batch_size}-{allocator}",
+                                        )
+                                        scenarios.append(Scenario(config=config,
+                                                                  swap_policy=policy))
+        return scenarios
+
+
+# -- per-scenario execution -----------------------------------------------------------
+
+
+@dataclass
+class ScenarioResult:
+    """JSON-serializable reduction of one profiled scenario."""
+
+    scenario: Dict[str, object]        # identifying fields (model, batch_size, ...)
+    key: str                           # content hash of the scenario
+    peak_allocated_bytes: int
+    peak_reserved_bytes: int
+    peak_live_bytes: int
+    parameter_bytes: int
+    parameter_count: int
+    num_events: int
+    num_blocks: int
+    step_time_s_mean: float
+    step_time_s_total: float
+    ati: Dict[str, float]              # AtiSummary.to_dict()
+    swappable_fraction: float
+    swap: Optional[Dict[str, object]]  # plan/policy summary (None for "none")
+    breakdown: Dict[str, object]       # OccupationBreakdown.to_dict()
+    allocator_stats: Dict[str, int]
+    mean_utilization: float
+    wall_time_s: float
+    from_cache: bool = False
+
+    def to_dict(self) -> Dict[str, object]:
+        """Serialize for the on-disk cache."""
+        data = asdict(self)
+        data.pop("from_cache", None)
+        return data
+
+    @staticmethod
+    def from_dict(data: Dict[str, object]) -> "ScenarioResult":
+        """Reconstruct a result from :meth:`to_dict` output."""
+        known = {f for f in ScenarioResult.__dataclass_fields__}
+        kwargs = {k: v for k, v in data.items() if k in known}
+        kwargs.setdefault("from_cache", False)
+        return ScenarioResult(**kwargs)
+
+    def occupation(self) -> OccupationBreakdown:
+        """The scenario's occupation breakdown as a first-class object."""
+        return OccupationBreakdown.from_dict(self.breakdown)
+
+    def row(self) -> Dict[str, object]:
+        """One tidy flat row for the aggregate summary table."""
+        row: Dict[str, object] = dict(self.scenario)
+        row.update({
+            "peak_alloc_mib": round(self.peak_allocated_bytes / MIB, 2),
+            "peak_reserved_mib": round(self.peak_reserved_bytes / MIB, 2),
+            "step_time_ms": round(self.step_time_s_mean * 1e3, 3),
+            "ati_count": int(self.ati.get("count", 0)),
+            "ati_p50_us": round(float(self.ati.get("p50_us", 0.0)), 3),
+            "ati_p90_us": round(float(self.ati.get("p90_us", 0.0)), 3),
+            "ati_p99_us": round(float(self.ati.get("p99_us", 0.0)), 3),
+            "swappable_frac": round(self.swappable_fraction, 4),
+            "swap_savings_mib": round(
+                float((self.swap or {}).get("savings_bytes", 0)) / MIB, 2),
+            "cached": self.from_cache,
+        })
+        return row
+
+
+def _swap_policy_summary(policy: str, session: SessionResult,
+                         bandwidths: BandwidthConfig) -> Optional[Dict[str, object]]:
+    """Evaluate the requested swap policy on the recorded trace."""
+    if policy == "none":
+        return None
+    if policy == "planner":
+        intervals = compute_access_intervals(session.trace)
+        plan = SwapPlanner(bandwidths=bandwidths).plan(session.trace, intervals)
+        summary = plan.summary()
+        summary["policy"] = "planner"
+        return summary
+    from ..baselines.swapping import swap_advisor_style_policy, zero_offload_style_policy
+    if policy == "swap_advisor":
+        result = swap_advisor_style_policy(session.trace, bandwidths)
+    elif policy == "zero_offload":
+        result = zero_offload_style_policy(session.trace, bandwidths)
+    else:
+        raise ValueError(f"unknown swap policy '{policy}'")
+    summary = result.summary()
+    summary["policy"] = policy
+    return summary
+
+
+def run_scenario(scenario: Scenario,
+                 bandwidths: Optional[BandwidthConfig] = None) -> ScenarioResult:
+    """Execute one scenario and reduce its trace to a :class:`ScenarioResult`.
+
+    This is the worker function shipped to the process pool, so it must stay
+    importable at module top level and both its argument and its return value
+    must pickle.
+    """
+    bandwidths = bandwidths if bandwidths is not None else BandwidthConfig.from_paper()
+    started = time.perf_counter()
+    session = run_training_session(scenario.config)
+    trace = session.trace
+
+    arrays = compute_interval_arrays(trace)
+    ati_summary = summarize_values_us(arrays.interval_us)
+    breakdown = occupation_breakdown(
+        trace, label=scenario.config.label or scenario.config.describe())
+
+    stats = dict(session.allocator_stats)
+    peak_reserved = int(stats.get("peak_reserved_bytes", session.peak_reserved_bytes))
+    peak_allocated = int(stats.get("peak_allocated_bytes", session.peak_allocated_bytes))
+    if peak_reserved:
+        mean_utilization = peak_allocated / peak_reserved
+    else:
+        mean_utilization = analyze_fragmentation(trace).mean_utilization
+
+    durations_s = [stats_.duration_ns / 1e9 for stats_ in session.iteration_stats]
+    total_s = float(sum(durations_s))
+
+    config = scenario.config
+    return ScenarioResult(
+        scenario={
+            "model": config.model,
+            "dataset": config.dataset,
+            "batch_size": config.batch_size,
+            "iterations": config.iterations,
+            "allocator": config.allocator,
+            "swap_policy": scenario.swap_policy,
+            "device_spec": config.device_spec,
+            "execution_mode": config.execution_mode,
+            "seed": config.seed,
+        },
+        key=scenario.key(bandwidths),
+        peak_allocated_bytes=int(session.peak_allocated_bytes),
+        peak_reserved_bytes=int(session.peak_reserved_bytes),
+        peak_live_bytes=int(trace.peak_live_bytes()),
+        parameter_bytes=int(session.parameter_bytes),
+        parameter_count=int(session.parameter_count),
+        num_events=len(trace),
+        num_blocks=len(trace.block_ids()),
+        step_time_s_mean=total_s / len(durations_s) if durations_s else 0.0,
+        step_time_s_total=total_s,
+        ati=ati_summary.to_dict(),
+        swappable_fraction=swappable_fraction(arrays, bandwidths),
+        swap=_swap_policy_summary(scenario.swap_policy, session, bandwidths),
+        breakdown=breakdown.to_dict(),
+        allocator_stats={k: int(v) for k, v in stats.items()},
+        mean_utilization=float(mean_utilization),
+        wall_time_s=time.perf_counter() - started,
+    )
+
+
+# -- the runner -----------------------------------------------------------------------
+
+
+@dataclass
+class SweepResult:
+    """Aggregate outcome of one sweep invocation."""
+
+    results: List[ScenarioResult]
+    cache_hits: int
+    cache_misses: int
+    wall_time_s: float
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Tidy flat rows, one per scenario, in expansion order."""
+        return [result.row() for result in self.results]
+
+    def summary_table(self, columns: Optional[Sequence[str]] = None) -> str:
+        """Fixed-width text table of the tidy rows."""
+        from ..viz import render_table
+        rows = self.rows()
+        if not rows:
+            return "(empty sweep)"
+        if columns is None:
+            columns = ["model", "dataset", "batch_size", "iterations", "allocator",
+                       "swap_policy", "peak_alloc_mib", "step_time_ms", "ati_p50_us",
+                       "ati_p90_us", "swappable_frac", "swap_savings_mib", "cached"]
+            columns = [c for c in columns if c in rows[0]]
+        return render_table(rows, columns=columns)
+
+    def filter(self, **scenario_fields) -> List[ScenarioResult]:
+        """Scenario results whose identifying fields match every given value."""
+        return [result for result in self.results
+                if all(result.scenario.get(k) == v for k, v in scenario_fields.items())]
+
+    def breakdown_series(self, parameter: str) -> BreakdownSeries:
+        """Build the figure-style series keyed on one scenario dimension."""
+        series = BreakdownSeries(parameter_name=parameter)
+        for result in self.results:
+            series.add(result.scenario.get(parameter), result.occupation())
+        return series
+
+    def total_simulated_time_s(self) -> float:
+        """Sum of the simulated training time across scenarios."""
+        return float(sum(result.step_time_s_total for result in self.results))
+
+
+class SweepRunner:
+    """Execute scenario sweeps with caching and optional process parallelism.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory of the content-addressed JSON cache.  ``None`` disables
+        caching entirely (every scenario runs).
+    workers:
+        Number of worker processes; 1 runs scenarios serially in-process.
+    use_cache:
+        If false, cached entries are ignored (but fresh results are still
+        written back when ``cache_dir`` is set).
+    """
+
+    def __init__(self, cache_dir: Optional[Union[str, Path]] = None, workers: int = 1,
+                 use_cache: bool = True,
+                 bandwidths: Optional[BandwidthConfig] = None):
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.workers = max(1, int(workers))
+        self.use_cache = bool(use_cache)
+        self.bandwidths = bandwidths if bandwidths is not None else BandwidthConfig.from_paper()
+
+    # -- cache ------------------------------------------------------------------------
+
+    def _cache_path(self, scenario: Scenario) -> Optional[Path]:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{scenario.key(self.bandwidths)}.json"
+
+    def cache_load(self, scenario: Scenario) -> Optional[ScenarioResult]:
+        """Load one scenario's cached result (None on miss or corrupt entry)."""
+        path = self._cache_path(scenario)
+        if path is None or not path.is_file():
+            return None
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+            if data.get("schema_version") != RESULT_SCHEMA_VERSION:
+                return None
+            result = ScenarioResult.from_dict(data["result"])
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+            return None  # corrupt entries are treated as misses and rewritten
+        result.from_cache = True
+        return result
+
+    def cache_store(self, scenario: Scenario, result: ScenarioResult) -> None:
+        """Write one scenario result to the cache (atomic rename)."""
+        path = self._cache_path(scenario)
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema_version": RESULT_SCHEMA_VERSION,
+            "fingerprint": scenario.fingerprint(self.bandwidths),
+            "result": result.to_dict(),
+        }
+        temporary = path.with_suffix(".tmp")
+        with open(temporary, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        os.replace(temporary, path)
+
+    def clear_cache(self) -> int:
+        """Delete every cache entry; returns the number of files removed."""
+        if self.cache_dir is None or not self.cache_dir.is_dir():
+            return 0
+        removed = 0
+        for path in self.cache_dir.glob("*.json"):
+            path.unlink()
+            removed += 1
+        return removed
+
+    # -- execution --------------------------------------------------------------------
+
+    def run(self, grid_or_scenarios: Union[SweepGrid, Sequence[Scenario]]) -> SweepResult:
+        """Run every scenario (cache-first), preserving expansion order."""
+        if isinstance(grid_or_scenarios, SweepGrid):
+            scenarios = grid_or_scenarios.expand()
+        else:
+            scenarios = list(grid_or_scenarios)
+        started = time.perf_counter()
+
+        results: List[Optional[ScenarioResult]] = [None] * len(scenarios)
+        missing: List[Tuple[int, Scenario]] = []
+        for index, scenario in enumerate(scenarios):
+            cached = self.cache_load(scenario) if self.use_cache else None
+            if cached is not None:
+                results[index] = cached
+            else:
+                missing.append((index, scenario))
+
+        if missing:
+            # Each result is cached the moment it completes, so one failing
+            # scenario (raised after the loop drains) never discards the work
+            # of the scenarios that already finished.
+            worker = partial(run_scenario, bandwidths=self.bandwidths)
+            failure: Optional[Exception] = None
+            if self.workers > 1 and len(missing) > 1:
+                with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                    futures = {pool.submit(worker, scenario): (index, scenario)
+                               for index, scenario in missing}
+                    for future in as_completed(futures):
+                        index, scenario = futures[future]
+                        try:
+                            result = future.result()
+                        except Exception as error:  # re-raised after the loop drains
+                            failure = failure or error
+                            continue
+                        results[index] = result
+                        self.cache_store(scenario, result)
+            else:
+                for index, scenario in missing:
+                    try:
+                        result = worker(scenario)
+                    except Exception as error:  # re-raised after the loop drains
+                        failure = failure or error
+                        continue
+                    results[index] = result
+                    self.cache_store(scenario, result)
+            if failure is not None:
+                raise failure
+
+        return SweepResult(
+            results=[result for result in results if result is not None],
+            cache_hits=len(scenarios) - len(missing),
+            cache_misses=len(missing),
+            wall_time_s=time.perf_counter() - started,
+        )
+
+
+def run_sweep(grid: SweepGrid, cache_dir: Optional[Union[str, Path]] = None,
+              workers: int = 1, use_cache: bool = True) -> SweepResult:
+    """Convenience wrapper: expand ``grid`` and run it with a :class:`SweepRunner`."""
+    runner = SweepRunner(cache_dir=cache_dir, workers=workers, use_cache=use_cache)
+    return runner.run(grid)

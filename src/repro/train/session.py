@@ -50,6 +50,7 @@ class TrainingRunConfig:
     seed: int = 0
     host_latency: Optional[HostLatencyModel] = None
     device_memory_capacity: Optional[int] = None
+    host_dispatch_overhead_ns: Optional[int] = None
     label: str = ""
 
     def describe(self) -> str:
@@ -87,7 +88,11 @@ def build_device(config: TrainingRunConfig) -> Device:
     spec: DeviceSpec = get_device_spec(config.device_spec)
     if config.device_memory_capacity is not None:
         spec = spec.with_memory_capacity(config.device_memory_capacity)
-    return Device(spec, allocator=config.allocator, execution_mode=config.execution_mode)
+    device_kwargs = {}
+    if config.host_dispatch_overhead_ns is not None:
+        device_kwargs["host_dispatch_overhead_ns"] = int(config.host_dispatch_overhead_ns)
+    return Device(spec, allocator=config.allocator, execution_mode=config.execution_mode,
+                  **device_kwargs)
 
 
 def run_training_session(config: TrainingRunConfig) -> SessionResult:

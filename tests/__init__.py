@@ -1,0 +1,8 @@
+"""Tier-1 test suite (a package so helpers import unambiguously).
+
+Making ``tests`` a package means test modules import as ``tests.test_*`` and
+shared helpers import as ``tests.helpers`` — the flat ``from conftest import
+...`` style is forbidden because it resolves against whichever conftest
+module pytest imported first (historically ``benchmarks/conftest.py``,
+breaking collection of four modules).
+"""

@@ -1,0 +1,53 @@
+"""Shared trace-building helpers for the tier-1 suite.
+
+This module (not ``conftest.py``) is the import target for plain helper
+functions, so that test modules never depend on conftest import order.
+"""
+
+from __future__ import annotations
+
+from repro.core.events import (
+    BlockLifetime,
+    IterationMark,
+    MemoryCategory,
+    MemoryEvent,
+    MemoryEventKind,
+)
+from repro.core.trace import MemoryTrace
+
+
+def build_trace(event_specs, iteration_marks=(), end_ns=None):
+    """Build a MemoryTrace from compact tuples.
+
+    ``event_specs`` is an iterable of tuples
+    ``(kind, timestamp_ns, block_id, size)`` or
+    ``(kind, timestamp_ns, block_id, size, category, iteration)``.
+    """
+    events = []
+    lifetimes = {}
+    for index, spec in enumerate(event_specs):
+        kind, timestamp, block_id, size = spec[:4]
+        category = spec[4] if len(spec) > 4 else MemoryCategory.ACTIVATION
+        iteration = spec[5] if len(spec) > 5 else -1
+        kind = MemoryEventKind(kind) if isinstance(kind, str) else kind
+        events.append(MemoryEvent(
+            event_id=index, kind=kind, timestamp_ns=timestamp, block_id=block_id,
+            address=0x1000 * block_id, size=size, category=category,
+            tag=f"block{block_id}", iteration=iteration,
+        ))
+        if kind is MemoryEventKind.MALLOC:
+            lifetimes[(block_id, timestamp)] = BlockLifetime(
+                block_id=block_id, address=0x1000 * block_id, size=size,
+                category=category, tag=f"block{block_id}", malloc_ns=timestamp,
+                iteration=iteration,
+            )
+        elif kind is MemoryEventKind.FREE:
+            for key in sorted(lifetimes, reverse=True):
+                if key[0] == block_id and lifetimes[key].free_ns is None:
+                    lifetimes[key].free_ns = timestamp
+                    break
+    marks = [IterationMark(index=i, start_ns=start, end_ns=end)
+             for i, (start, end) in enumerate(iteration_marks)]
+    final_ns = end_ns if end_ns is not None else (events[-1].timestamp_ns if events else 0)
+    return MemoryTrace(events=events, lifetimes=list(lifetimes.values()),
+                       iteration_marks=marks, end_ns=final_ns)

@@ -12,7 +12,7 @@ from repro.baselines import (
 from repro.core.events import MemoryCategory
 from repro.units import MIB, s_to_ns
 
-from conftest import build_trace
+from tests.helpers import build_trace
 
 
 def make_training_like_trace():

@@ -8,7 +8,7 @@ from repro.core.events import MemoryCategory, MemoryEventKind, PAPER_BUCKETS
 from repro.core.outliers import find_outliers, pairwise_ati_size, top_swap_candidates
 from repro.units import MIB, s_to_ns
 
-from conftest import build_trace
+from tests.helpers import build_trace
 
 
 def make_breakdown_trace():

@@ -13,7 +13,7 @@ from repro.core.patterns import (
     sequence_similarity,
 )
 
-from conftest import build_trace
+from tests.helpers import build_trace
 
 
 def test_gantt_builds_one_rectangle_per_lifetime(simple_trace):

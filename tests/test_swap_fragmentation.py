@@ -19,7 +19,7 @@ from repro.core.swap import (
 )
 from repro.units import GB, KB, MIB, s_to_ns, us_to_ns
 
-from conftest import build_trace
+from tests.helpers import build_trace
 
 
 def make_interval(block_id, size, interval_ns):
