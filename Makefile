@@ -1,13 +1,20 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test bench sweep-smoke clean-cache
+.PHONY: test bench report docs-check sweep-smoke clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ -q
+
+report:
+	$(PYTHON) -m repro report
+
+docs-check:
+	$(PYTHON) -m repro report --check
+	$(PYTHON) tools/check_docstrings.py src/repro
 
 sweep-smoke:
 	$(PYTHON) -m repro sweep --models mlp --batch-sizes 16,32 \

@@ -10,10 +10,15 @@ The package is organised as the paper's system is:
   recording (malloc/free/read/write) and the analyses behind every figure
   (Gantt charts, ATI distributions, outliers, Eq. 1 swap bounds, occupation
   breakdowns, and the future-work swap planner);
-* :mod:`repro.experiments` — one entry point per paper figure/table;
-* :mod:`repro.viz` — ASCII renderings and CSV/JSON export of figure data;
-* :mod:`repro.baselines` — swapping/recomputation/compression baselines used
-  for context in the discussion sections.
+* :mod:`repro.experiments` — one entry point per paper figure/table, all
+  backed by the scenario-sweep engine and its on-disk result cache;
+* :mod:`repro.viz` — ASCII/SVG renderings and CSV/JSON export of figure data;
+* :mod:`repro.baselines` — swapping/recomputation/compression baselines
+  behind the pluggable :class:`~repro.baselines.policy.MemoryPolicy`
+  registry (the sweep's policy axis);
+* :mod:`repro.report` — regenerates EXPERIMENTS.md and the ``docs/figures/``
+  pages from cached sweep results (``repro report`` / ``repro report
+  --check``).
 
 Quickstart
 ----------

@@ -16,9 +16,14 @@ Three subcommands cover the common workflows without writing any Python:
 
 ``python -m repro sweep --models alexnet,resnet18 --batch-sizes 32,64,128,256``
     Expand a scenario grid (model × batch size × iterations × allocator ×
-    swap policy × device), run it across worker processes with on-disk result
-    caching and print the tidy summary table.  ``--dry-run`` prints the
-    expanded scenarios without running anything.
+    baseline policy × device × dtype), run it across worker processes with
+    on-disk result caching and print the tidy summary table.  ``--dry-run``
+    prints the expanded scenarios without running anything.
+
+``python -m repro report``
+    Regenerate EXPERIMENTS.md and the ``docs/figures/`` pages from cached
+    sweep results (running any missing scenarios); ``--check`` verifies the
+    committed docs match a fresh regeneration and exits nonzero on drift.
 """
 
 from __future__ import annotations
@@ -65,6 +70,24 @@ def _build_parser() -> argparse.ArgumentParser:
     figure.add_argument("name", choices=("fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
                                          "eq1", "swap"))
 
+    report = subparsers.add_parser(
+        "report",
+        help="regenerate EXPERIMENTS.md and docs/figures/ from the sweep cache")
+    report.add_argument("--check", action="store_true",
+                        help="verify the committed docs match a fresh "
+                             "regeneration (exit 1 on drift) instead of writing")
+    report.add_argument("--profile", default="full", choices=("full", "smoke"),
+                        help="grid sizes behind the report (smoke = tiny test grids)")
+    report.add_argument("--out", default=".", metavar="DIR",
+                        help="repository root to write/check against")
+    report.add_argument("--workers", type=int, default=1,
+                        help="worker processes for uncached scenarios")
+    report.add_argument("--cache-dir", default=None, metavar="PATH",
+                        help="sweep result cache directory "
+                             "(default: $REPRO_SWEEP_CACHE or .repro_cache/sweeps)")
+    report.add_argument("--no-cache", action="store_true",
+                        help="ignore cached scenario results")
+
     sweep = subparsers.add_parser(
         "sweep", help="run a scenario grid in parallel with result caching")
     sweep.add_argument("--models", default="mlp",
@@ -77,10 +100,14 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="comma-separated allocator policies "
                             "(caching, best_fit, bump)")
     sweep.add_argument("--swap-policies", default="none",
-                       help="comma-separated swap policies "
-                            "(none, planner, swap_advisor, zero_offload)")
+                       help="comma-separated baseline policies (none, planner, "
+                            "swap_advisor, zero_offload, recompute, pruning, "
+                            "quantization)")
     sweep.add_argument("--devices", default="titan_x_pascal",
                        help="comma-separated device presets")
+    sweep.add_argument("--dtypes", default="float32",
+                       help="comma-separated training dtypes "
+                            "(float32, float16, float64)")
     sweep.add_argument("--seeds", default="0", help="comma-separated RNG seeds")
     sweep.add_argument("--dataset", default="two_cluster",
                        choices=sorted(DATASET_PRESETS))
@@ -196,6 +223,30 @@ def _cmd_figure(name: str) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .experiments.sweep import SweepRunner, default_cache_dir
+    from .report import check_report, generate_report, write_report
+
+    cache_dir = args.cache_dir if args.cache_dir is not None else default_cache_dir()
+    runner = SweepRunner(cache_dir=cache_dir, workers=args.workers,
+                         use_cache=not args.no_cache)
+    files = generate_report(runner=runner, profile=args.profile)
+    if args.check:
+        stale = check_report(files, root=args.out)
+        if stale:
+            print("stale generated docs (regenerate with `python -m repro report`):",
+                  file=sys.stderr)
+            for path in stale:
+                print(f"  {path}", file=sys.stderr)
+            return 1
+        print(f"{len(files)} generated file(s) in sync")
+        return 0
+    written = write_report(files, root=args.out)
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
 def _split_csv(value: str, cast=str) -> list:
     """Parse a comma-separated CLI value into a list of ``cast``ed entries."""
     return [cast(part.strip()) for part in str(value).split(",") if part.strip()]
@@ -214,6 +265,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         ("--allocators", _split_csv(args.allocators), {"caching", "best_fit", "bump"}),
         ("--swap-policies", _split_csv(args.swap_policies), set(SWAP_POLICIES)),
         ("--devices", _split_csv(args.devices), set(DEVICE_PRESETS)),
+        ("--dtypes", _split_csv(args.dtypes), {"float16", "float32", "float64"}),
     )
     for flag, values, known in dimension_choices:
         unknown = [value for value in values if value not in known]
@@ -242,6 +294,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         allocators=_split_csv(args.allocators),
         swap_policies=_split_csv(args.swap_policies),
         device_specs=_split_csv(args.devices),
+        dtypes=_split_csv(args.dtypes),
         seeds=seeds,
         dataset=args.dataset,
         execution_mode=args.execution_mode,
@@ -283,6 +336,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_profile(args)
     if args.command == "figure":
         return _cmd_figure(args.name)
+    if args.command == "report":
+        return _cmd_report(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
     return 2

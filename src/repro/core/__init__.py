@@ -1,4 +1,14 @@
-"""The paper's contribution: block-level memory-behavior recording and analysis."""
+"""The paper's contribution: block-level memory-behavior recording and analysis.
+
+The recorder side (:class:`~repro.core.profiler.MemoryProfiler` /
+:class:`~repro.core.recorder.TraceRecorder`) produces a
+:class:`~repro.core.trace.MemoryTrace`; the analysis side (ATI, breakdown,
+gantt, patterns, fragmentation, Eq.-1 swap planning) consumes it.  The hot
+analyses — ATI pairing, occupation breakdown, Eq.-1 screening — are
+vectorized over the trace's columnar NumPy view
+(:meth:`~repro.core.trace.MemoryTrace.columns`, see the module docstring of
+:mod:`repro.core.trace` for the layout).
+"""
 
 from .ati import (
     AccessInterval,

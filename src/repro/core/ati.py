@@ -8,6 +8,19 @@ from the collection of per-block ATIs:
 * Figure 3b is the violin plot of ATIs grouped by behavior kind;
 * Figure 4 plots each behavior's ATI together with the size of the block it
   touches, revealing the high-ATI / large-block outliers.
+
+Two API levels share one vectorized core built on the trace's column store
+(:meth:`~repro.core.trace.MemoryTrace.columns`):
+
+* :func:`compute_interval_arrays` sorts the access events by
+  ``(block_id, timestamp_ns)`` once and differences adjacent timestamps in
+  bulk, producing an :class:`IntervalArrays` record of parallel NumPy
+  columns (``block_id``, ``size``, ``category_code``, ``interval_ns``,
+  ``start_index``/``end_index`` into ``trace.events``).  The sweep engine
+  and the Eq.-1 feasibility screening consume these arrays directly.
+* :func:`compute_access_intervals` materializes the same pairing as
+  object-level :class:`AccessInterval` records for consumers that need tags,
+  kinds or per-interval inspection.
 """
 
 from __future__ import annotations

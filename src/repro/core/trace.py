@@ -5,6 +5,24 @@ the full behavior stream, the block lifetimes and the iteration boundaries.
 Every analysis in :mod:`repro.core` consumes this object, and it can be saved
 to / loaded from JSON (complete) or exported to CSV (events only, convenient
 for external plotting).
+
+Column-store layout (PR 1)
+--------------------------
+Besides the object-level ``events`` list, a trace exposes a columnar NumPy
+view through :meth:`MemoryTrace.columns`: one :class:`EventColumns` record of
+seven parallel ``int64`` arrays — ``event_id``, ``kind_code``,
+``timestamp_ns``, ``block_id``, ``size``, ``category_code`` and
+``iteration`` — one entry per event, in recording order.  Enum-valued fields
+are stored as stable integer codes (:data:`KIND_CODES` /
+:data:`CATEGORY_CODES`, with :data:`KIND_FROM_CODE` /
+:data:`CATEGORY_FROM_CODE` for the reverse mapping) so every analysis can be
+expressed as vectorized masks and reductions over the arrays.  The view is
+built lazily on first use and cached keyed on the event count, so a recorder
+that is still appending events gets a fresh view while finalized traces pay
+the conversion once.  The ATI pairing (:mod:`repro.core.ati`), the
+occupation breakdown (:mod:`repro.core.breakdown`) and the sweep engine's
+Eq.-1 screening all run on this column store and never touch the Python
+event objects.
 """
 
 from __future__ import annotations

@@ -50,6 +50,12 @@ class Device:
         arithmetic but performs identical allocations, accesses and timing —
         memory behavior is shape-dependent, not value-dependent, so traces
         are the same.
+    default_dtype:
+        Element type (name or :class:`~repro.tensor.dtype.DType`) used for
+        floating-point tensors whose dtype is not given explicitly —
+        parameters, activations and staged input batches all follow it, so
+        ``default_dtype="float16"`` models half-precision training.  Must be
+        a floating-point dtype.
     compute_efficiency / bandwidth_efficiency / host_dispatch_overhead_ns:
         Forwarded to :class:`~repro.device.timing.KernelTimingModel`.
     """
@@ -59,16 +65,25 @@ class Device:
         spec: Optional[DeviceSpec] = None,
         allocator: str = "caching",
         execution_mode: str = "eager",
+        default_dtype: object = "float32",
         compute_efficiency: float = 0.65,
         bandwidth_efficiency: float = 0.75,
         host_dispatch_overhead_ns: int = 6_000,
     ):
+        from ..tensor.dtype import DType, get_dtype
+
         if execution_mode not in EXECUTION_MODES:
             raise ConfigurationError(
                 f"execution_mode must be one of {EXECUTION_MODES}, got {execution_mode!r}"
             )
         self.spec = spec if spec is not None else titan_x_pascal()
         self.execution_mode = execution_mode
+        dtype = default_dtype if isinstance(default_dtype, DType) else get_dtype(
+            str(default_dtype))
+        if dtype.numpy_dtype.kind != "f":
+            raise ConfigurationError(
+                f"default_dtype must be a floating-point dtype, got '{dtype.name}'")
+        self.default_dtype = dtype
         self.clock = DeviceClock()
         self.listeners = CompositeListener()
         self.allocator: BaseAllocator = make_allocator(

@@ -120,6 +120,52 @@ def ampere_a100_40gb() -> DeviceSpec:
     )
 
 
+def gtx_1080_8gb() -> DeviceSpec:
+    """A GTX 1080-like 8 GB device: the capacity-constrained consumer regime.
+
+    Same Pascal generation as the paper's Titan X but with a third less
+    memory, so workloads that barely fit the Titan X become swap candidates.
+    """
+    return DeviceSpec(
+        name="NVIDIA GTX 1080 8GB",
+        memory_capacity=8 * GIB,
+        peak_flops=8.87e12,
+        memory_bandwidth=320e9,
+        h2d_bandwidth=6.1e9,
+        d2h_bandwidth=6.2e9,
+    )
+
+
+def v100_sxm2_16gb() -> DeviceSpec:
+    """A V100-SXM2-16GB-like device: NVLink-class interconnect bandwidth.
+
+    The ~3x faster host link widens Eq. 1's swappable window, which is why
+    the swap-feasibility results shift so strongly across the device axis.
+    """
+    return DeviceSpec(
+        name="NVIDIA V100 (Volta) SXM2 16GB",
+        memory_capacity=16 * GIB,
+        peak_flops=15.7e12,
+        memory_bandwidth=900e9,
+        h2d_bandwidth=20e9,
+        d2h_bandwidth=20e9,
+        kernel_launch_overhead_ns=4_500,
+    )
+
+
+def rtx_3090_24gb() -> DeviceSpec:
+    """An RTX 3090-like 24 GB device: large-memory consumer Ampere."""
+    return DeviceSpec(
+        name="NVIDIA RTX 3090 24GB",
+        memory_capacity=24 * GIB,
+        peak_flops=35.6e12,
+        memory_bandwidth=936e9,
+        h2d_bandwidth=12e9,
+        d2h_bandwidth=12e9,
+        kernel_launch_overhead_ns=4_000,
+    )
+
+
 def small_test_device(memory_capacity: int = 256 * MIB) -> DeviceSpec:
     """A tiny device used by unit tests to exercise out-of-memory paths."""
     return DeviceSpec(
@@ -139,6 +185,9 @@ def small_test_device(memory_capacity: int = 256 * MIB) -> DeviceSpec:
 #: Registry of named presets, usable from experiment configuration files.
 DEVICE_PRESETS = {
     "titan_x_pascal": titan_x_pascal,
+    "gtx_1080_8gb": gtx_1080_8gb,
+    "v100_sxm2_16gb": v100_sxm2_16gb,
+    "rtx_3090_24gb": rtx_3090_24gb,
     "ampere_a100_40gb": ampere_a100_40gb,
     "small_test_device": small_test_device,
 }

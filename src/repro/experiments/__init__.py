@@ -1,4 +1,13 @@
-"""One entry point per paper figure/table, plus the ablations of DESIGN.md."""
+"""One entry point per paper figure/table, plus the ablations of DESIGN.md.
+
+Every experiment reduces to scenarios executed by the sweep engine
+(:mod:`repro.experiments.sweep`), which analyzes each recorded trace through
+the column store introduced in PR 1 (:meth:`repro.core.trace.MemoryTrace.columns`
+and the vectorized ATI/breakdown analyses on top of it) and caches the
+reduced :class:`~repro.experiments.sweep.ScenarioResult`s on disk.  The
+report generator (:mod:`repro.report`) turns those cached results into
+EXPERIMENTS.md and the per-figure docs pages.
+"""
 
 from .ablations import (
     AllocatorAblationRow,

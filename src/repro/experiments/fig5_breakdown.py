@@ -15,6 +15,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..core.breakdown import OccupationBreakdown, occupation_breakdown
 from ..train.session import SessionResult, TrainingRunConfig, run_training_session
 from .configs import breakdown_config
+from .sweep import Scenario
+
+#: Default class count per dataset (used when the workload does not override it).
+DATASET_NUM_CLASSES = {"cifar100": 100, "cifar10": 10, "imagenet": 1000,
+                       "mnist": 10, "two_cluster": 2}
 
 #: Default model family for the Figure-5 breakdown: (label, model, dataset,
 #: batch size, input size).  CIFAR-sized inputs keep the sweep fast while the
@@ -66,23 +71,40 @@ class Fig5Result:
         }
 
 
+def fig5_config(label: str, model: str, dataset: str, batch_size: int,
+                input_size: int,
+                num_classes_override: Optional[int] = None) -> TrainingRunConfig:
+    """The training configuration of one Figure-5 workload tuple."""
+    kwargs: Dict[str, Optional[int]] = {}
+    if model not in ("mlp", "paper_mlp"):
+        kwargs["input_size"] = input_size or None
+        kwargs["num_classes"] = (num_classes_override
+                                 if num_classes_override is not None
+                                 else DATASET_NUM_CLASSES[dataset])
+    config = breakdown_config(model=model, dataset=dataset, batch_size=batch_size,
+                              input_size=kwargs.get("input_size"),
+                              num_classes=kwargs.get("num_classes"))
+    config.label = label
+    return config
+
+
+def fig5_scenarios(workloads: Optional[Sequence[Tuple[str, str, str, int, int]]] = None,
+                   num_classes_override: Optional[int] = None) -> List[Scenario]:
+    """The concrete sweep points behind Figure 5 (one per workload tuple)."""
+    workloads = workloads if workloads is not None else DEFAULT_FIG5_WORKLOADS
+    return [Scenario(config=fig5_config(*workload,
+                                        num_classes_override=num_classes_override))
+            for workload in workloads]
+
+
 def run_fig5(workloads: Optional[Sequence[Tuple[str, str, str, int, int]]] = None,
              num_classes_override: Optional[int] = None) -> Fig5Result:
     """Profile every model of the Figure-5 family and compute its breakdown."""
     workloads = workloads if workloads is not None else DEFAULT_FIG5_WORKLOADS
     result = Fig5Result()
-    for label, model, dataset, batch_size, input_size in workloads:
-        kwargs: Dict[str, object] = {}
-        if model not in ("mlp", "paper_mlp"):
-            kwargs["input_size"] = input_size or None
-            dataset_classes = {"cifar100": 100, "cifar10": 10, "imagenet": 1000,
-                               "mnist": 10, "two_cluster": 2}[dataset]
-            kwargs["num_classes"] = (num_classes_override if num_classes_override is not None
-                                     else dataset_classes)
-        config = breakdown_config(model=model, dataset=dataset, batch_size=batch_size,
-                                  input_size=kwargs.get("input_size"),
-                                  num_classes=kwargs.get("num_classes"))
-        config.label = label
+    for workload in workloads:
+        label = workload[0]
+        config = fig5_config(*workload, num_classes_override=num_classes_override)
         session = run_training_session(config)
         breakdown = occupation_breakdown(session.trace, label=label)
         result.breakdowns.append(breakdown)

@@ -19,9 +19,28 @@ sweep a first-class operation:
   table and into the :class:`~repro.core.breakdown.BreakdownSeries` the
   figure experiments consume.
 
-The figure experiments (``fig6_alexnet``, ``fig7_resnet``) and the ablations
-are thin wrappers over this engine, so ``repro sweep`` on the command line,
-the benchmarks and the tests all share one execution path.
+The figure experiments (``fig6_alexnet``, ``fig7_resnet``), the ablations
+and the report generator (``repro report``) are thin wrappers over this
+engine, so ``repro sweep`` on the command line, the benchmarks and the tests
+all share one execution path.
+
+Sweep axes
+----------
+``models x batch_sizes x iterations x allocators x device_specs x dtypes x
+host_dispatch_overheads_ns x seeds x swap_policies``.  The policy axis is
+backed by the :mod:`repro.baselines` registry (swapping variants,
+recomputation, parameter compression); the dtype axis sets the device's
+default training precision; the device axis also selects the Eq.-1
+bandwidths unless the runner overrides them explicitly.
+
+Per-scenario reduction runs on the trace's column store
+(:meth:`~repro.core.trace.MemoryTrace.columns`): ATI pairing via
+:func:`~repro.core.ati.compute_interval_arrays`, Eq.-1 screening via
+:func:`~repro.core.swap.swappable_fraction` over the interval arrays, and
+the occupation breakdown via the vectorized
+:func:`~repro.core.breakdown.occupation_breakdown` — the multi-megabyte
+Python event objects never cross the process-pool boundary, only the
+reduced :class:`ScenarioResult`.
 
 Cache layout
 ------------
@@ -35,6 +54,7 @@ deleted except by ``repro sweep --clear-cache``.
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import os
 import time
@@ -44,15 +64,17 @@ from functools import partial
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from ..core.ati import compute_access_intervals, compute_interval_arrays, summarize_values_us
+from ..baselines.policy import available_policies, get_policy
+from ..core.ati import compute_interval_arrays, summarize_values_us
 from ..core.breakdown import BreakdownSeries, OccupationBreakdown, occupation_breakdown
 from ..core.fragmentation import analyze_fragmentation
-from ..core.swap import BandwidthConfig, SwapPlanner, swappable_fraction
+from ..core.swap import BandwidthConfig, swappable_fraction
 from ..train.session import SessionResult, TrainingRunConfig, run_training_session
 from ..units import MIB
 
 #: Version of the cached result schema; bump to invalidate every cache entry.
-RESULT_SCHEMA_VERSION = 1
+#: v2: policies generalized to the baselines registry, dtype axis added.
+RESULT_SCHEMA_VERSION = 2
 
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "REPRO_SWEEP_CACHE"
@@ -60,8 +82,10 @@ CACHE_DIR_ENV = "REPRO_SWEEP_CACHE"
 #: Default on-disk cache location (relative to the working directory).
 DEFAULT_CACHE_DIR = Path(".repro_cache") / "sweeps"
 
-#: Swap policies a scenario can be evaluated under.
-SWAP_POLICIES = ("none", "planner", "swap_advisor", "zero_offload")
+#: Policies a scenario can be evaluated under (the baselines registry: the
+#: historical name is kept although the axis now spans swapping, recompute
+#: and parameter-compression baselines).
+SWAP_POLICIES = available_policies()
 
 
 def default_cache_dir() -> Path:
@@ -80,17 +104,31 @@ class Scenario:
     config: TrainingRunConfig
     swap_policy: str = "none"
 
+    def resolve_bandwidths(self,
+                           bandwidths: Optional[BandwidthConfig] = None) -> BandwidthConfig:
+        """The Eq.-1 bandwidths this scenario is evaluated under.
+
+        An explicit override wins; otherwise the bandwidths come from the
+        scenario's own device spec (for the paper's Titan X these are exactly
+        the measured 6.3/6.4 GB/s), so the device axis changes the
+        swap-feasibility results the way real hardware would.
+        """
+        if bandwidths is not None:
+            return bandwidths
+        from ..device.spec import get_device_spec
+        return BandwidthConfig.from_device_spec(get_device_spec(self.config.device_spec))
+
     def fingerprint(self, bandwidths: Optional[BandwidthConfig] = None) -> Dict[str, object]:
         """Canonical JSON-friendly identity of this scenario (cache key input).
 
         The cosmetic ``label`` is excluded: two scenarios that run the same
         workload hit the same cache entry regardless of how they are named.
-        The Eq.-1 bandwidths are *included* (resolved to the paper's defaults
+        The Eq.-1 bandwidths are *included* (resolved from the device spec
         when unset): they shape ``swappable_fraction`` and every swap-policy
         summary, so results computed under different bandwidths must never
         share a cache entry.
         """
-        bandwidths = bandwidths if bandwidths is not None else BandwidthConfig.from_paper()
+        bandwidths = self.resolve_bandwidths(bandwidths)
         config = asdict(self.config)
         config.pop("label", None)
         return {
@@ -112,7 +150,7 @@ class Scenario:
         c = self.config
         return (f"{c.model}/{c.dataset} batch={c.batch_size} iters={c.iterations} "
                 f"alloc={c.allocator} swap={self.swap_policy} device={c.device_spec} "
-                f"mode={c.execution_mode}")
+                f"dtype={c.dtype} mode={c.execution_mode}")
 
 
 @dataclass
@@ -130,6 +168,7 @@ class SweepGrid:
     allocators: Sequence[str] = ("caching",)
     swap_policies: Sequence[str] = ("none",)
     device_specs: Sequence[str] = ("titan_x_pascal",)
+    dtypes: Sequence[str] = ("float32",)
     host_dispatch_overheads_ns: Sequence[Optional[int]] = (None,)
     seeds: Sequence[int] = (0,)
     # shared scalars
@@ -145,8 +184,8 @@ class SweepGrid:
         """Number of scenarios the grid expands to."""
         return (len(self.models) * len(self.batch_sizes) * len(self.iterations)
                 * len(self.allocators) * len(self.swap_policies)
-                * len(self.device_specs) * len(self.host_dispatch_overheads_ns)
-                * len(self.seeds))
+                * len(self.device_specs) * len(self.dtypes)
+                * len(self.host_dispatch_overheads_ns) * len(self.seeds))
 
     def expand(self) -> List[Scenario]:
         """Expand the grid into concrete scenarios (deterministic order)."""
@@ -155,33 +194,34 @@ class SweepGrid:
                 raise ValueError(
                     f"unknown swap policy '{policy}'; known policies: {SWAP_POLICIES}")
         scenarios: List[Scenario] = []
-        for model in self.models:
-            for batch_size in self.batch_sizes:
-                for iterations in self.iterations:
-                    for allocator in self.allocators:
-                        for device_spec in self.device_specs:
-                            for overhead in self.host_dispatch_overheads_ns:
-                                for seed in self.seeds:
-                                    for policy in self.swap_policies:
-                                        config = TrainingRunConfig(
-                                            model=model,
-                                            model_kwargs=dict(self.model_kwargs),
-                                            dataset=self.dataset,
-                                            dataset_kwargs=dict(self.dataset_kwargs),
-                                            batch_size=batch_size,
-                                            iterations=iterations,
-                                            optimizer=self.optimizer,
-                                            device_spec=device_spec,
-                                            allocator=allocator,
-                                            execution_mode=self.execution_mode,
-                                            seed=seed,
-                                            host_latency=self.host_latency,
-                                            device_memory_capacity=self.device_memory_capacity,
-                                            host_dispatch_overhead_ns=overhead,
-                                            label=f"{model}-batch{batch_size}-{allocator}",
-                                        )
-                                        scenarios.append(Scenario(config=config,
-                                                                  swap_policy=policy))
+        # Outermost dimension first; the policy varies fastest so that related
+        # baselines of one workload sit together in the summary table.
+        axes = itertools.product(
+            self.models, self.batch_sizes, self.iterations, self.allocators,
+            self.device_specs, self.dtypes, self.host_dispatch_overheads_ns,
+            self.seeds, self.swap_policies,
+        )
+        for (model, batch_size, iterations, allocator, device_spec, dtype,
+             overhead, seed, policy) in axes:
+            config = TrainingRunConfig(
+                model=model,
+                model_kwargs=dict(self.model_kwargs),
+                dataset=self.dataset,
+                dataset_kwargs=dict(self.dataset_kwargs),
+                batch_size=batch_size,
+                iterations=iterations,
+                optimizer=self.optimizer,
+                device_spec=device_spec,
+                dtype=dtype,
+                allocator=allocator,
+                execution_mode=self.execution_mode,
+                seed=seed,
+                host_latency=self.host_latency,
+                device_memory_capacity=self.device_memory_capacity,
+                host_dispatch_overhead_ns=overhead,
+                label=f"{model}-batch{batch_size}-{allocator}",
+            )
+            scenarios.append(Scenario(config=config, swap_policy=policy))
         return scenarios
 
 
@@ -251,25 +291,8 @@ class ScenarioResult:
 
 def _swap_policy_summary(policy: str, session: SessionResult,
                          bandwidths: BandwidthConfig) -> Optional[Dict[str, object]]:
-    """Evaluate the requested swap policy on the recorded trace."""
-    if policy == "none":
-        return None
-    if policy == "planner":
-        intervals = compute_access_intervals(session.trace)
-        plan = SwapPlanner(bandwidths=bandwidths).plan(session.trace, intervals)
-        summary = plan.summary()
-        summary["policy"] = "planner"
-        return summary
-    from ..baselines.swapping import swap_advisor_style_policy, zero_offload_style_policy
-    if policy == "swap_advisor":
-        result = swap_advisor_style_policy(session.trace, bandwidths)
-    elif policy == "zero_offload":
-        result = zero_offload_style_policy(session.trace, bandwidths)
-    else:
-        raise ValueError(f"unknown swap policy '{policy}'")
-    summary = result.summary()
-    summary["policy"] = policy
-    return summary
+    """Evaluate the requested policy (from the baselines registry) on the trace."""
+    return get_policy(policy).evaluate(session.trace, bandwidths)
 
 
 def run_scenario(scenario: Scenario,
@@ -280,7 +303,7 @@ def run_scenario(scenario: Scenario,
     importable at module top level and both its argument and its return value
     must pickle.
     """
-    bandwidths = bandwidths if bandwidths is not None else BandwidthConfig.from_paper()
+    bandwidths = scenario.resolve_bandwidths(bandwidths)
     started = time.perf_counter()
     session = run_training_session(scenario.config)
     trace = session.trace
@@ -311,6 +334,7 @@ def run_scenario(scenario: Scenario,
             "allocator": config.allocator,
             "swap_policy": scenario.swap_policy,
             "device_spec": config.device_spec,
+            "dtype": config.dtype,
             "execution_mode": config.execution_mode,
             "seed": config.seed,
         },
@@ -361,8 +385,9 @@ class SweepResult:
             return "(empty sweep)"
         if columns is None:
             columns = ["model", "dataset", "batch_size", "iterations", "allocator",
-                       "swap_policy", "peak_alloc_mib", "step_time_ms", "ati_p50_us",
-                       "ati_p90_us", "swappable_frac", "swap_savings_mib", "cached"]
+                       "swap_policy", "device_spec", "dtype", "peak_alloc_mib",
+                       "step_time_ms", "ati_p50_us", "ati_p90_us", "swappable_frac",
+                       "swap_savings_mib", "cached"]
             columns = [c for c in columns if c in rows[0]]
         return render_table(rows, columns=columns)
 
@@ -396,6 +421,9 @@ class SweepRunner:
     use_cache:
         If false, cached entries are ignored (but fresh results are still
         written back when ``cache_dir`` is set).
+    bandwidths:
+        Explicit Eq.-1 bandwidth override for every scenario; ``None`` (the
+        default) derives the bandwidths from each scenario's device spec.
     """
 
     def __init__(self, cache_dir: Optional[Union[str, Path]] = None, workers: int = 1,
@@ -404,7 +432,7 @@ class SweepRunner:
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.workers = max(1, int(workers))
         self.use_cache = bool(use_cache)
-        self.bandwidths = bandwidths if bandwidths is not None else BandwidthConfig.from_paper()
+        self.bandwidths = bandwidths
 
     # -- cache ------------------------------------------------------------------------
 

@@ -15,7 +15,7 @@ import numpy as np
 
 from ..core.events import MemoryCategory
 from ..device.device import Device
-from ..tensor.dtype import DType, float32
+from ..tensor.dtype import DType
 from ..tensor.functional import zero_
 from ..tensor.tensor import Tensor, empty
 
@@ -23,7 +23,8 @@ from ..tensor.tensor import Tensor, empty
 class Parameter:
     """A named, trainable tensor with a lazily allocated gradient buffer."""
 
-    def __init__(self, device: Device, shape, name: str = "param", dtype: DType = float32):
+    def __init__(self, device: Device, shape, name: str = "param",
+                 dtype: Optional[DType] = None):
         self.device = device
         self.name = name
         self.data = empty(device, shape, dtype=dtype,

@@ -1,0 +1,39 @@
+"""Reporting subsystem: regenerate EXPERIMENTS.md and the per-figure docs.
+
+The repo's results documentation is a *build artifact*: ``repro report``
+loads cached :class:`~repro.experiments.sweep.ScenarioResult`s (running any
+missing scenarios through the sweep engine), renders comparison tables and
+ASCII/SVG charts via :mod:`repro.viz`, and deterministically regenerates
+``EXPERIMENTS.md`` plus one ``docs/figures/<slug>.md`` page per paper
+figure.  ``repro report --check`` verifies the committed docs match a fresh
+regeneration byte-for-byte, so the documentation can never drift from the
+code.
+"""
+
+from .figures import (
+    FIGURE_BUILDERS,
+    FULL_PROFILE,
+    FigurePage,
+    PROFILES,
+    ReportProfile,
+    SMOKE_PROFILE,
+    comparison_grid,
+    comparison_rows,
+    eq1_rows,
+)
+from .generate import check_report, generate_report, write_report
+
+__all__ = [
+    "FIGURE_BUILDERS",
+    "FULL_PROFILE",
+    "FigurePage",
+    "PROFILES",
+    "ReportProfile",
+    "SMOKE_PROFILE",
+    "check_report",
+    "comparison_grid",
+    "comparison_rows",
+    "eq1_rows",
+    "generate_report",
+    "write_report",
+]

@@ -48,11 +48,13 @@ class Tensor:
         self,
         device: Device,
         shape: ShapeLike,
-        dtype: DType = float32,
+        dtype: Optional[DType] = None,
         category: MemoryCategory = MemoryCategory.UNKNOWN,
         tag: str = "",
         storage: Optional[DeviceStorage] = None,
     ):
+        if dtype is None:
+            dtype = device.default_dtype
         self.device = device
         self.shape = _normalize_shape(shape)
         self.dtype = dtype
@@ -183,40 +185,43 @@ class Tensor:
 # -- factory helpers ---------------------------------------------------------------------
 
 
-def empty(device: Device, shape: ShapeLike, dtype: DType = float32,
+def empty(device: Device, shape: ShapeLike, dtype: Optional[DType] = None,
           category: MemoryCategory = MemoryCategory.UNKNOWN, tag: str = "") -> Tensor:
-    """Allocate an uninitialized tensor on ``device``."""
+    """Allocate an uninitialized tensor (``device.default_dtype`` when untyped)."""
     return Tensor(device, shape, dtype=dtype, category=category, tag=tag)
 
 
-def zeros(device: Device, shape: ShapeLike, dtype: DType = float32,
+def zeros(device: Device, shape: ShapeLike, dtype: Optional[DType] = None,
           category: MemoryCategory = MemoryCategory.UNKNOWN, tag: str = "") -> Tensor:
     """Allocate a zero-filled tensor (records an on-device fill write)."""
     tensor = empty(device, shape, dtype=dtype, category=category, tag=tag)
     if tensor.storage.is_materialized:
-        tensor.storage.set_buffer(np.zeros(tensor.numel, dtype=dtype.numpy_dtype))
+        tensor.storage.set_buffer(np.zeros(tensor.numel, dtype=tensor.dtype.numpy_dtype))
     tensor.storage.record_write("fill_zero")
     return tensor
 
 
-def full(device: Device, shape: ShapeLike, value: float, dtype: DType = float32,
+def full(device: Device, shape: ShapeLike, value: float, dtype: Optional[DType] = None,
          category: MemoryCategory = MemoryCategory.UNKNOWN, tag: str = "") -> Tensor:
     """Allocate a tensor filled with ``value``."""
     tensor = empty(device, shape, dtype=dtype, category=category, tag=tag)
     if tensor.storage.is_materialized:
-        tensor.storage.set_buffer(np.full(tensor.numel, value, dtype=dtype.numpy_dtype))
+        tensor.storage.set_buffer(
+            np.full(tensor.numel, value, dtype=tensor.dtype.numpy_dtype))
     tensor.storage.record_write("fill_value")
     return tensor
 
 
-def randn(device: Device, shape: ShapeLike, dtype: DType = float32, scale: float = 1.0,
+def randn(device: Device, shape: ShapeLike, dtype: Optional[DType] = None,
+          scale: float = 1.0,
           category: MemoryCategory = MemoryCategory.UNKNOWN, tag: str = "",
           rng: Optional[np.random.Generator] = None) -> Tensor:
     """Allocate a tensor of Gaussian values (records an on-device init write)."""
     tensor = empty(device, shape, dtype=dtype, category=category, tag=tag)
     if tensor.storage.is_materialized:
         generator = rng if rng is not None else np.random.default_rng()
-        values = generator.standard_normal(tensor.numel).astype(dtype.numpy_dtype) * scale
+        values = (generator.standard_normal(tensor.numel)
+                  .astype(tensor.dtype.numpy_dtype) * scale)
         tensor.storage.set_buffer(values)
     tensor.storage.record_write("fill_randn")
     return tensor
@@ -232,7 +237,12 @@ def from_numpy(device: Device, array: np.ndarray,
     be resident (used for test fixtures).
     """
     array = np.asarray(array)
-    dtype = from_numpy_dtype(array.dtype) if array.dtype != np.float64 else float32
+    if array.dtype.kind == "f":
+        # Floating host data is staged in the device's training precision so
+        # that a float16 run really moves (and keeps) half-size batches.
+        dtype = device.default_dtype
+    else:
+        dtype = from_numpy_dtype(array.dtype)
     tensor = empty(device, array.shape, dtype=dtype, category=category, tag=tag)
     if stage_h2d:
         tensor.copy_from_host(array, tag=tag)

@@ -45,6 +45,7 @@ class TrainingRunConfig:
     momentum: float = 0.9
     optimizer: str = "sgd"
     device_spec: str = "titan_x_pascal"
+    dtype: str = "float32"
     allocator: str = "caching"
     execution_mode: str = "eager"
     seed: int = 0
@@ -92,7 +93,7 @@ def build_device(config: TrainingRunConfig) -> Device:
     if config.host_dispatch_overhead_ns is not None:
         device_kwargs["host_dispatch_overhead_ns"] = int(config.host_dispatch_overhead_ns)
     return Device(spec, allocator=config.allocator, execution_mode=config.execution_mode,
-                  **device_kwargs)
+                  default_dtype=config.dtype, **device_kwargs)
 
 
 def run_training_session(config: TrainingRunConfig) -> SessionResult:

@@ -1,4 +1,9 @@
-"""Text-based figure rendering and figure-data export."""
+"""Text/SVG figure rendering and figure-data export.
+
+The reproduction is plotting-library free: ASCII renderers cover terminals
+and logs, the SVG renderers cover the generated docs pages, and the export
+helpers produce CSV/JSON for external tools.
+"""
 
 from .ascii import (
     render_cdf,
@@ -9,6 +14,7 @@ from .ascii import (
     render_violin,
 )
 from .export import export_figure_data, write_csv_rows, write_json
+from .svg import render_svg_bars, render_svg_stacked_bars
 
 __all__ = [
     "export_figure_data",
@@ -16,6 +22,8 @@ __all__ = [
     "render_gantt",
     "render_scatter",
     "render_stacked_bars",
+    "render_svg_bars",
+    "render_svg_stacked_bars",
     "render_table",
     "render_violin",
     "write_csv_rows",

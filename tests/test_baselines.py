@@ -108,3 +108,57 @@ def test_quantization_estimate():
     assert "8-bit" in estimate.technique
     with pytest.raises(ValueError):
         estimate_quantization(trace, bits=0)
+
+
+# -- the policy registry --------------------------------------------------------------
+
+
+def test_policy_registry_names_and_lookup():
+    from repro.baselines import available_policies, get_policy
+
+    names = available_policies()
+    assert names[0] == "none"
+    assert {"planner", "swap_advisor", "zero_offload", "recompute", "pruning",
+            "quantization"} <= set(names)
+    for name in names:
+        assert get_policy(name).name == name
+    with pytest.raises(ValueError, match="unknown swap policy"):
+        get_policy("teleport")
+
+
+def test_none_policy_evaluates_to_none():
+    from repro.baselines import get_policy
+
+    assert get_policy("none").evaluate(make_training_like_trace()) is None
+
+
+def test_every_policy_summary_is_normalized():
+    from repro.baselines import available_policies, get_policy
+
+    trace = make_training_like_trace()
+    for name in available_policies():
+        summary = get_policy(name).evaluate(trace)
+        if name == "none":
+            continue
+        assert summary["policy"] == name
+        assert summary["savings_bytes"] >= 0
+        assert 0.0 <= summary["savings_fraction"] <= 1.0
+        assert summary["overhead_ns"] >= 0.0
+
+
+def test_policy_summaries_match_underlying_estimators():
+    from repro.baselines import get_policy
+
+    trace = make_training_like_trace()
+    advisor = get_policy("swap_advisor").evaluate(trace)
+    direct = swap_advisor_style_policy(trace)
+    assert advisor["savings_bytes"] == direct.savings_bytes
+
+    recompute = get_policy("recompute").evaluate(trace)
+    plan = estimate_recompute_plan(trace, keep_every=2)
+    assert recompute["savings_bytes"] == plan.savings_bytes
+
+    pruning = get_policy("pruning").evaluate(trace)
+    estimate = estimate_pruning(trace, sparsity=0.9)
+    assert pruning["savings_bytes"] == (estimate.peak_bytes_before
+                                        - estimate.estimated_peak_bytes_after)

@@ -1,0 +1,110 @@
+"""Golden-file tests for the report generator (`repro report`).
+
+The report must be a pure function of the code and the sweep cache: two
+generations are byte-identical, `check_report` accepts a freshly written
+tree and flags any tampering, and the CLI exit codes mirror that.
+"""
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.experiments.sweep import SweepRunner
+from repro.report import (
+    FIGURE_BUILDERS,
+    SMOKE_PROFILE,
+    check_report,
+    generate_report,
+    write_report,
+)
+
+pytestmark = pytest.mark.filterwarnings("ignore::RuntimeWarning")
+
+
+@pytest.fixture(scope="module")
+def cache_dir(tmp_path_factory):
+    """One sweep cache shared by every test in this module."""
+    return tmp_path_factory.mktemp("report-cache")
+
+
+@pytest.fixture(scope="module")
+def files(cache_dir):
+    """The generated smoke-profile report (scenarios run once, then cached)."""
+    runner = SweepRunner(cache_dir=cache_dir)
+    return generate_report(runner=runner, profile=SMOKE_PROFILE)
+
+
+def test_report_contains_every_figure_page(files):
+    assert "EXPERIMENTS.md" in files
+    slugs = {f"docs/figures/{page}" for page in (
+        "fig2_gantt.md", "fig3_ati.md", "fig4_outliers.md", "fig5_breakdown.md",
+        "fig6_alexnet.md", "fig7_resnet.md", "ablations.md")}
+    assert slugs <= set(files)
+    assert len(FIGURE_BUILDERS) == 7
+
+
+def test_report_tables_expose_the_new_sweep_axes(files):
+    experiments = files["EXPERIMENTS.md"]
+    # The comparison table carries the three axes introduced in this PR.
+    assert "| policy | dtype | device |" in experiments
+    assert "float16" in experiments
+    assert "recompute" in experiments
+    # Eq.-1 table pins the paper's operating points.
+    assert "79.37" in experiments
+    assert "2.54 GB" in experiments
+
+
+def test_report_pages_embed_charts_and_commands(files):
+    fig6 = files["docs/figures/fig6_alexnet.md"]
+    assert "**Reproduce:**" in fig6
+    assert "![fig6 breakdown](svg/fig6_alexnet.svg)" in fig6
+    assert "- [x]" in fig6 or "- [ ]" in fig6
+    svg = files["docs/figures/svg/fig6_alexnet.svg"]
+    assert svg.startswith("<svg ")
+    assert svg.rstrip().endswith("</svg>")
+
+
+def test_report_is_byte_stable_across_runs(files, cache_dir):
+    again = generate_report(runner=SweepRunner(cache_dir=cache_dir),
+                            profile=SMOKE_PROFILE)
+    assert files == again
+
+
+def test_check_report_flags_stale_and_missing_files(files, tmp_path):
+    root = tmp_path / "repo"
+    write_report(files, root=root)
+    assert check_report(files, root=root) == []
+
+    stale = root / "EXPERIMENTS.md"
+    stale.write_text(stale.read_text(encoding="utf-8") + "drift\n", encoding="utf-8")
+    assert check_report(files, root=root) == ["EXPERIMENTS.md"]
+
+    (root / "docs" / "figures" / "fig3_ati.md").unlink()
+    assert check_report(files, root=root) == ["EXPERIMENTS.md",
+                                              "docs/figures/fig3_ati.md"]
+
+
+def test_cli_report_write_then_check_then_tamper(tmp_path, cache_dir, capsys):
+    out = tmp_path / "repo"
+    base = ["report", "--profile", "smoke", "--out", str(out),
+            "--cache-dir", str(cache_dir)]
+    assert cli_main(base) == 0
+    assert (out / "EXPERIMENTS.md").is_file()
+    capsys.readouterr()
+
+    assert cli_main(base + ["--check"]) == 0
+    assert "in sync" in capsys.readouterr().out
+
+    experiments = out / "EXPERIMENTS.md"
+    experiments.write_text("stale", encoding="utf-8")
+    assert cli_main(base + ["--check"]) == 1
+    err = capsys.readouterr().err
+    assert "EXPERIMENTS.md" in err
+
+
+def test_check_report_flags_orphaned_generated_files(files, tmp_path):
+    root = tmp_path / "repo"
+    write_report(files, root=root)
+    orphan = root / "docs" / "figures" / "fig9_removed.md"
+    orphan.write_text("left behind by a renamed builder", encoding="utf-8")
+    assert check_report(files, root=root) == [
+        "docs/figures/fig9_removed.md (orphaned - no longer generated)"]

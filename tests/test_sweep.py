@@ -304,3 +304,64 @@ def test_cli_sweep_runs_and_caches(tmp_path, capsys):
     rows = json.loads(out[:out.rindex("]") + 1])
     assert rows[0]["model"] == "mlp"
     assert rows[0]["cached"] is True
+
+
+# -- new axes: dtype, device, policy registry -----------------------------------------
+
+
+def test_grid_expands_dtype_axis():
+    grid = tiny_grid(dtypes=("float32", "float16"))
+    scenarios = grid.expand()
+    assert grid.size() == 4 == len(scenarios)
+    # dtype varies fastest of the two (inside each batch size), declared order.
+    assert [(s.config.batch_size, s.config.dtype) for s in scenarios] == [
+        (16, "float32"), (16, "float16"), (32, "float32"), (32, "float16")]
+    assert all("dtype=" in s.describe() for s in scenarios)
+
+
+def test_dtype_axis_changes_footprint_and_cache_key():
+    grid = tiny_grid(batch_sizes=(32,), dtypes=("float32", "float16"))
+    f32, f16 = grid.expand()
+    assert f32.key() != f16.key()
+    r32, r16 = run_scenario(f32), run_scenario(f16)
+    assert r16.scenario["dtype"] == "float16"
+    # Half precision roughly halves the parameter bytes and shrinks the peak.
+    assert r16.parameter_bytes * 2 == r32.parameter_bytes
+    assert r16.peak_allocated_bytes < r32.peak_allocated_bytes
+
+
+def test_registry_policies_run_through_the_sweep():
+    base = tiny_grid(batch_sizes=(16,)).expand()[0]
+    for policy in ("recompute", "pruning", "quantization"):
+        result = run_scenario(Scenario(config=base.config, swap_policy=policy))
+        assert result.swap is not None
+        assert result.swap["policy"] == policy
+        assert result.swap["savings_bytes"] >= 0
+
+
+def test_device_axis_resolves_eq1_bandwidths_from_spec():
+    from repro.core.swap import BandwidthConfig
+    from repro.device.spec import get_device_spec
+
+    titan = tiny_grid(batch_sizes=(16,)).expand()[0]
+    v100 = tiny_grid(batch_sizes=(16,), device_specs=("v100_sxm2_16gb",)).expand()[0]
+    assert titan.key() != v100.key()
+    resolved = v100.resolve_bandwidths()
+    spec = get_device_spec("v100_sxm2_16gb")
+    assert resolved.h2d_bytes_per_s == spec.h2d_bandwidth
+    # An explicit override still wins over the device spec.
+    override = BandwidthConfig(h2d_bytes_per_s=1.0, d2h_bytes_per_s=1.0)
+    assert v100.resolve_bandwidths(override) is override
+
+
+def test_summary_table_shows_dtype_and_device_columns():
+    sweep = run_sweep(tiny_grid(batch_sizes=(16,), dtypes=("float16",)))
+    table = sweep.summary_table()
+    assert "dtype" in table and "float16" in table
+    assert "device_spec" in table and "titan_x_pascal" in table
+
+
+def test_cli_sweep_rejects_unknown_dtype(capsys):
+    assert cli_main(["sweep", "--models", "mlp", "--dtypes", "float8"]) == 2
+    err = capsys.readouterr().err
+    assert "--dtypes" in err and "choose from" in err
