@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test bench report docs-check sweep-smoke clean-cache
+.PHONY: test bench report docs-check sweep-smoke sweep-scaling clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -19,6 +19,13 @@ docs-check:
 sweep-smoke:
 	$(PYTHON) -m repro sweep --models mlp --batch-sizes 16,32 \
 		--allocators caching,bump --dry-run
+
+# Run the data-parallel scaling grid and regenerate the scaling report page
+# (docs/figures/scaling.md + its SVGs) from the cached results.
+sweep-scaling:
+	$(PYTHON) -m repro sweep --models paper_mlp --batch-sizes 4096 \
+		--n-devices 1,2,4,8 --interconnects pcie_gen3,nvlink2 --workers 4
+	$(PYTHON) -m repro report
 
 clean-cache:
 	rm -rf .repro_cache

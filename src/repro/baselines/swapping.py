@@ -10,7 +10,12 @@ approaches are comparable on the same trace.
   and pay whatever transfer time their access intervals cannot hide.
 * :func:`zero_offload_style_policy` — in the spirit of ZeRO-Offload (Ren et
   al.): keep optimizer state and parameter gradients on the host, paying one
-  round trip per training iteration for them.
+  round trip per training iteration for them.  The policy is *rank-aware*:
+  on a data-parallel trace (``n_devices`` in the trace metadata) the host
+  copy is partitioned ZeRO-style across the replicas, so each rank only
+  transfers its ``1/N`` partition per iteration — the per-device footprint
+  savings stay full-size while the per-rank communication shrinks with the
+  replica count.
 """
 
 from __future__ import annotations
@@ -35,6 +40,8 @@ class SwapPolicyResult:
     peak_bytes_before: int
     estimated_peak_bytes_after: int
     overhead_ns: float
+    world_size: int = 1
+    partition_bytes: Optional[int] = None  # per-rank transfer quantum (ZeRO-style)
 
     @property
     def savings_bytes(self) -> int:
@@ -50,7 +57,7 @@ class SwapPolicyResult:
 
     def summary(self) -> Dict[str, object]:
         """Compact summary used by the comparison experiment."""
-        return {
+        summary: Dict[str, object] = {
             "name": self.name,
             "num_blocks": len(self.selected_block_ids),
             "swapped_bytes": self.swapped_bytes,
@@ -58,6 +65,10 @@ class SwapPolicyResult:
             "savings_fraction": self.savings_fraction,
             "overhead_ns": self.overhead_ns,
         }
+        if self.world_size > 1:
+            summary["world_size"] = self.world_size
+            summary["partition_bytes"] = self.partition_bytes
+        return summary
 
 
 def _block_sizes(trace: MemoryTrace) -> Dict[int, int]:
@@ -109,24 +120,35 @@ def swap_advisor_style_policy(trace: MemoryTrace,
 
 def zero_offload_style_policy(trace: MemoryTrace,
                               bandwidths: Optional[BandwidthConfig] = None) -> SwapPolicyResult:
-    """Keep optimizer state and parameter gradients on the host.
+    """Keep optimizer state and parameter gradients on the host (rank-aware).
 
     The offloaded bytes are absent from the device footprint; every training
-    iteration pays one round trip for them (gradients out, updated values
+    iteration pays a round trip for them (gradients out, updated values
     back), which is the overhead ZeRO-Offload hides behind CPU compute but a
     synchronous implementation would expose.
+
+    On a data-parallel trace (``n_devices > 1`` in the trace metadata) the
+    policy evaluates the rank-0 replica and partitions the host copy across
+    the ranks the way ZeRO-Offload shards its optimizer state: every replica
+    still frees its *full* local optimizer-state/gradient footprint (the
+    per-device savings), but per iteration it only moves its ``1/N``
+    partition, so the exposed transfer time shrinks with the replica count
+    instead of being a flat, cluster-size-oblivious discount.
     """
     bandwidths = bandwidths if bandwidths is not None else BandwidthConfig.from_paper()
+    world_size = max(1, int(trace.metadata.get("n_devices", 1) or 1))
+    rank_trace = trace.for_rank(0) if world_size > 1 else trace
     offload_categories = (MemoryCategory.OPTIMIZER_STATE, MemoryCategory.PARAMETER_GRADIENT)
     offloaded: Dict[int, int] = {}
-    for lifetime in trace.lifetimes:
+    for lifetime in rank_trace.lifetimes:
         if lifetime.category in offload_categories:
             offloaded[lifetime.block_id] = max(offloaded.get(lifetime.block_id, 0),
                                                lifetime.size)
     swapped = sum(offloaded.values())
-    iterations = max(1, len(trace.iteration_marks))
-    overhead = iterations * swap_round_trip_ns(swapped, bandwidths)
-    peak_before = trace.peak_live_bytes()
+    partition = -(-swapped // world_size)  # ceil: each rank's shard of the host copy
+    iterations = max(1, len(rank_trace.iteration_marks))
+    overhead = iterations * swap_round_trip_ns(partition, bandwidths)
+    peak_before = rank_trace.peak_live_bytes()
     return SwapPolicyResult(
         name="zero_offload_style",
         selected_block_ids=sorted(offloaded),
@@ -134,4 +156,6 @@ def zero_offload_style_policy(trace: MemoryTrace,
         peak_bytes_before=peak_before,
         estimated_peak_bytes_after=max(0, peak_before - swapped),
         overhead_ns=overhead,
+        world_size=world_size,
+        partition_bytes=partition,
     )

@@ -16,9 +16,11 @@ Three subcommands cover the common workflows without writing any Python:
 
 ``python -m repro sweep --models alexnet,resnet18 --batch-sizes 32,64,128,256``
     Expand a scenario grid (model × batch size × iterations × allocator ×
-    baseline policy × device × dtype), run it across worker processes with
-    on-disk result caching and print the tidy summary table.  ``--dry-run``
-    prints the expanded scenarios without running anything.
+    baseline policy × device × dtype × replica count × interconnect), run it
+    across worker processes with on-disk result caching and print the tidy
+    summary table.  ``--n-devices 1,2,4`` turns each scenario into a
+    data-parallel cluster sweep.  ``--dry-run`` prints the expanded
+    scenarios without running anything.
 
 ``python -m repro report``
     Regenerate EXPERIMENTS.md and the ``docs/figures/`` pages from cached
@@ -108,6 +110,14 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--dtypes", default="float32",
                        help="comma-separated training dtypes "
                             "(float32, float16, float64)")
+    sweep.add_argument("--n-devices", default="1", dest="n_devices",
+                       help="comma-separated data-parallel replica counts "
+                            "(e.g. 1,2,4)")
+    sweep.add_argument("--interconnects", default="pcie_gen3",
+                       help="comma-separated interconnect presets "
+                            "(pcie_gen3, pcie_gen4, nvlink2, ethernet_25g)")
+    sweep.add_argument("--allreduce", default="ring", choices=("ring", "naive"),
+                       help="allreduce cost model used for gradient collectives")
     sweep.add_argument("--seeds", default="0", help="comma-separated RNG seeds")
     sweep.add_argument("--dataset", default="two_cluster",
                        choices=sorted(DATASET_PRESETS))
@@ -255,6 +265,7 @@ def _split_csv(value: str, cast=str) -> list:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     import json as json_module
 
+    from .device.cluster import INTERCONNECT_PRESETS
     from .experiments.sweep import SWAP_POLICIES, SweepGrid, SweepRunner, default_cache_dir
     from .units import GIB
 
@@ -266,6 +277,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         ("--swap-policies", _split_csv(args.swap_policies), set(SWAP_POLICIES)),
         ("--devices", _split_csv(args.devices), set(DEVICE_PRESETS)),
         ("--dtypes", _split_csv(args.dtypes), {"float16", "float32", "float64"}),
+        ("--interconnects", _split_csv(args.interconnects),
+         set(INTERCONNECT_PRESETS)),
     )
     for flag, values, known in dimension_choices:
         unknown = [value for value in values if value not in known]
@@ -277,9 +290,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         batch_sizes = _split_csv(args.batch_sizes, int)
         iterations = _split_csv(args.iterations, int)
         seeds = _split_csv(args.seeds, int)
+        n_devices = _split_csv(args.n_devices, int)
     except ValueError as error:
-        print(f"error: --batch-sizes/--iterations/--seeds must be comma-separated "
-              f"integers ({error})", file=sys.stderr)
+        print(f"error: --batch-sizes/--iterations/--seeds/--n-devices must be "
+              f"comma-separated integers ({error})", file=sys.stderr)
+        return 2
+    if any(n < 1 for n in n_devices):
+        print("error: --n-devices entries must be positive", file=sys.stderr)
         return 2
 
     model_kwargs = {}
@@ -295,6 +312,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         swap_policies=_split_csv(args.swap_policies),
         device_specs=_split_csv(args.devices),
         dtypes=_split_csv(args.dtypes),
+        n_devices=n_devices,
+        interconnects=_split_csv(args.interconnects),
+        allreduce_algorithm=args.allreduce,
         seeds=seeds,
         dataset=args.dataset,
         execution_mode=args.execution_mode,

@@ -82,7 +82,7 @@ from .swap import (
     max_swap_bytes,
     swap_round_trip_ns,
 )
-from .trace import MemoryTrace, TRACE_FORMAT_VERSION
+from .trace import MemoryTrace, TRACE_FORMAT_VERSION, merge_rank_traces
 
 __all__ = [
     "AccessInterval",
@@ -127,6 +127,7 @@ __all__ = [
     "fraction_below",
     "fragmentation_timeline",
     "gaussian_kde_trace",
+    "merge_rank_traces",
     "histogram",
     "internal_fragmentation_bytes",
     "interval_values_us",

@@ -112,6 +112,10 @@ class MemoryEvent:
     op:
         Name of the operator that triggered the access (empty for allocator
         events).
+    device_rank:
+        Data-parallel rank of the device the behavior happened on (0 for
+        single-device runs; stamped by the trace merge for multi-device
+        sessions).
     """
 
     event_id: int
@@ -124,6 +128,7 @@ class MemoryEvent:
     tag: str = ""
     iteration: int = -1
     op: str = ""
+    device_rank: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
         """Serialize the event to a JSON-friendly dictionary."""
@@ -138,6 +143,7 @@ class MemoryEvent:
             "tag": self.tag,
             "iteration": self.iteration,
             "op": self.op,
+            "device_rank": self.device_rank,
         }
 
     @staticmethod
@@ -154,6 +160,7 @@ class MemoryEvent:
             tag=str(data.get("tag", "")),
             iteration=int(data.get("iteration", -1)),
             op=str(data.get("op", "")),
+            device_rank=int(data.get("device_rank", 0)),
         )
 
 
@@ -174,6 +181,7 @@ class BlockLifetime:
     free_ns: Optional[int] = None
     iteration: int = -1
     access_count: int = 0
+    device_rank: int = 0
 
     @property
     def is_live(self) -> bool:
@@ -199,6 +207,7 @@ class BlockLifetime:
             "free_ns": self.free_ns,
             "iteration": self.iteration,
             "access_count": self.access_count,
+            "device_rank": self.device_rank,
         }
 
     @staticmethod
@@ -214,6 +223,7 @@ class BlockLifetime:
             free_ns=None if data.get("free_ns") is None else int(data["free_ns"]),
             iteration=int(data.get("iteration", -1)),
             access_count=int(data.get("access_count", 0)),
+            device_rank=int(data.get("device_rank", 0)),
         )
 
 

@@ -10,6 +10,14 @@ during MLP training".  This module quantifies that:
   allocator's cache, and the classic ``1 - largest_free / total_free`` ratio
   computed from allocator snapshots;
 * a reserved/allocated utilization timeline replayed from the trace.
+
+All per-event reductions run on the trace's column store
+(:meth:`~repro.core.trace.MemoryTrace.columns`): the allocated/reserved
+series are cumulative sums over vectorized event-delta arrays
+(:func:`fragmentation_series`), and :func:`analyze_fragmentation` computes
+its peaks and utilization statistics directly on those arrays — the Python
+:class:`FragmentationTimelinePoint` objects are only materialized for
+consumers that ask for the object-level timeline.
 """
 
 from __future__ import annotations
@@ -17,8 +25,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from .events import MemoryEventKind
-from .trace import MemoryTrace
+from .trace import KIND_CODES, MemoryTrace
+
+_MALLOC = KIND_CODES[MemoryEventKind.MALLOC]
+_FREE = KIND_CODES[MemoryEventKind.FREE]
+_SEG_ALLOC = KIND_CODES[MemoryEventKind.SEGMENT_ALLOC]
+_SEG_FREE = KIND_CODES[MemoryEventKind.SEGMENT_FREE]
 
 
 @dataclass
@@ -64,45 +79,60 @@ class FragmentationReport:
         }
 
 
+def fragmentation_series(trace: MemoryTrace) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized ``(timestamps, allocated, reserved)`` series of allocator events.
+
+    One entry per malloc/free/segment event, in stream order: cumulative sums
+    of the per-event byte deltas over the trace's column store.
+    """
+    empty = np.array([], dtype=np.int64)
+    if trace.is_empty:
+        return empty, empty.copy(), empty.copy()
+    cols = trace.columns()
+    kind = cols.kind_code
+    alloc_delta = np.where(kind == _MALLOC, cols.size,
+                           np.where(kind == _FREE, -cols.size, 0))
+    reserved_delta = np.where(kind == _SEG_ALLOC, cols.size,
+                              np.where(kind == _SEG_FREE, -cols.size, 0))
+    mask = ((kind == _MALLOC) | (kind == _FREE)
+            | (kind == _SEG_ALLOC) | (kind == _SEG_FREE))
+    if not mask.any():
+        return empty, empty.copy(), empty.copy()
+    return (cols.timestamp_ns[mask],
+            np.cumsum(alloc_delta[mask]),
+            np.cumsum(reserved_delta[mask]))
+
+
+def _timeline_points(timestamps: np.ndarray, allocated: np.ndarray,
+                     reserved: np.ndarray) -> List[FragmentationTimelinePoint]:
+    """Materialize object-level timeline points from the series arrays."""
+    return [FragmentationTimelinePoint(timestamp_ns=int(ts), allocated_bytes=int(a),
+                                       reserved_bytes=int(r))
+            for ts, a, r in zip(timestamps, allocated, reserved)]
+
+
 def fragmentation_timeline(trace: MemoryTrace) -> List[FragmentationTimelinePoint]:
     """Replay allocator events into an (allocated, reserved) timeline."""
-    allocated = reserved = 0
-    points: List[FragmentationTimelinePoint] = []
-    for event in trace.events:
-        if event.kind is MemoryEventKind.MALLOC:
-            allocated += event.size
-        elif event.kind is MemoryEventKind.FREE:
-            allocated -= event.size
-        elif event.kind is MemoryEventKind.SEGMENT_ALLOC:
-            reserved += event.size
-        elif event.kind is MemoryEventKind.SEGMENT_FREE:
-            reserved -= event.size
-        else:
-            continue
-        points.append(FragmentationTimelinePoint(
-            timestamp_ns=event.timestamp_ns,
-            allocated_bytes=allocated,
-            reserved_bytes=reserved,
-        ))
-    return points
+    return _timeline_points(*fragmentation_series(trace))
 
 
 def analyze_fragmentation(trace: MemoryTrace) -> FragmentationReport:
-    """Compute the fragmentation report of a trace."""
-    timeline = fragmentation_timeline(trace)
-    if not timeline:
+    """Compute the fragmentation report of a trace (one vectorized scan)."""
+    timestamps, allocated, reserved = fragmentation_series(trace)
+    if timestamps.size == 0:
         return FragmentationReport(timeline=[], peak_allocated_bytes=0, peak_reserved_bytes=0,
                                    mean_utilization=1.0, min_utilization=1.0,
                                    peak_cached_bytes=0)
     # Utilization is only meaningful once something is reserved.
-    utilizations = [point.utilization for point in timeline if point.reserved_bytes > 0]
+    meaningful = reserved > 0
+    utilizations = allocated[meaningful] / reserved[meaningful]
     return FragmentationReport(
-        timeline=timeline,
-        peak_allocated_bytes=max(point.allocated_bytes for point in timeline),
-        peak_reserved_bytes=max(point.reserved_bytes for point in timeline),
-        mean_utilization=(sum(utilizations) / len(utilizations)) if utilizations else 1.0,
-        min_utilization=min(utilizations) if utilizations else 1.0,
-        peak_cached_bytes=max(point.cached_bytes for point in timeline),
+        timeline=_timeline_points(timestamps, allocated, reserved),
+        peak_allocated_bytes=int(allocated.max()),
+        peak_reserved_bytes=int(reserved.max()),
+        mean_utilization=float(utilizations.mean()) if utilizations.size else 1.0,
+        min_utilization=float(utilizations.min()) if utilizations.size else 1.0,
+        peak_cached_bytes=int(np.maximum(reserved - allocated, 0).max()),
     )
 
 
@@ -114,14 +144,13 @@ def internal_fragmentation_bytes(trace: MemoryTrace) -> int:
     rounds to 512-byte granularity, so the upper bound per live block is
     511 bytes — this returns that bound scaled by the peak live block count.
     """
-    peak_live_blocks = 0
-    live = 0
-    for event in trace.events:
-        if event.kind is MemoryEventKind.MALLOC:
-            live += 1
-            peak_live_blocks = max(peak_live_blocks, live)
-        elif event.kind is MemoryEventKind.FREE:
-            live -= 1
+    if trace.is_empty:
+        return 0
+    cols = trace.columns()
+    deltas = np.where(cols.is_malloc, 1, np.where(cols.is_free, -1, 0))
+    if not deltas.any():
+        return 0
+    peak_live_blocks = int(max(0, np.cumsum(deltas).max()))
     return peak_live_blocks * 511
 
 

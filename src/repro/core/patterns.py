@@ -22,8 +22,10 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
+import numpy as np
+
 from .events import MemoryEvent
-from .trace import MemoryTrace
+from .trace import ACCESS_CODES, CATEGORY_FROM_CODE, KIND_FROM_CODE, MemoryTrace
 
 Signature = Tuple[Tuple[str, int, str], ...]
 
@@ -66,16 +68,26 @@ class PatternReport:
 
 
 def iteration_signature(trace: MemoryTrace, iteration: int) -> IterationSignature:
-    """Build the behavior signature of one iteration."""
-    events = [event for event in trace.events_in_iteration(iteration)
-              if event.kind.is_block_behavior]
-    signature = tuple((event.kind.value, event.size, event.category.value)
-                      for event in events)
+    """Build the behavior signature of one iteration (column-store selection).
+
+    The per-iteration behaviors are selected with vectorized masks over
+    :meth:`~repro.core.trace.MemoryTrace.columns`; only the final signature
+    tuple is materialized in Python (it must be hashable for difflib).
+    """
+    cols = trace.columns()
+    mask = cols.is_block_behavior & (cols.iteration == iteration)
+    kinds = cols.kind_code[mask]
+    sizes = cols.size[mask]
+    categories = cols.category_code[mask]
+    access_mask = np.isin(kinds, ACCESS_CODES)
+    signature = tuple(zip((KIND_FROM_CODE[code].value for code in kinds),
+                          sizes.tolist(),
+                          (CATEGORY_FROM_CODE[code].value for code in categories)))
     return IterationSignature(
         iteration=iteration,
         signature=signature,
-        event_count=len(events),
-        total_bytes_touched=sum(event.size for event in events if event.kind.is_access),
+        event_count=int(kinds.size),
+        total_bytes_touched=int(sizes[access_mask].sum()),
     )
 
 
@@ -137,9 +149,10 @@ def iteration_durations_ns(trace: MemoryTrace) -> List[int]:
 
 def behaviors_per_iteration(trace: MemoryTrace) -> Dict[int, int]:
     """Number of block-level behaviors attributed to each iteration."""
-    counts: Dict[int, int] = {}
-    for event in trace.events:
-        if event.iteration < 0 or not event.kind.is_block_behavior:
-            continue
-        counts[event.iteration] = counts.get(event.iteration, 0) + 1
-    return counts
+    if trace.is_empty:
+        return {}
+    cols = trace.columns()
+    mask = cols.is_block_behavior & (cols.iteration >= 0)
+    iterations, counts = np.unique(cols.iteration[mask], return_counts=True)
+    return {int(iteration): int(count)
+            for iteration, count in zip(iterations, counts)}

@@ -10,9 +10,9 @@ Column-store layout (PR 1)
 --------------------------
 Besides the object-level ``events`` list, a trace exposes a columnar NumPy
 view through :meth:`MemoryTrace.columns`: one :class:`EventColumns` record of
-seven parallel ``int64`` arrays — ``event_id``, ``kind_code``,
-``timestamp_ns``, ``block_id``, ``size``, ``category_code`` and
-``iteration`` — one entry per event, in recording order.  Enum-valued fields
+eight parallel ``int64`` arrays — ``event_id``, ``kind_code``,
+``timestamp_ns``, ``block_id``, ``size``, ``category_code``, ``iteration``
+and ``device_rank`` — one entry per event, in recording order.  Enum-valued fields
 are stored as stable integer codes (:data:`KIND_CODES` /
 :data:`CATEGORY_CODES`, with :data:`KIND_FROM_CODE` /
 :data:`CATEGORY_FROM_CODE` for the reverse mapping) so every analysis can be
@@ -79,6 +79,7 @@ class EventColumns:
     size: np.ndarray          # int64
     category_code: np.ndarray  # int64, see CATEGORY_CODES
     iteration: np.ndarray     # int64
+    device_rank: np.ndarray   # int64 (data-parallel rank; all zeros single-device)
 
     def __len__(self) -> int:
         return int(self.event_id.size)
@@ -139,6 +140,7 @@ class MemoryTrace:
         size = np.empty(n, dtype=np.int64)
         category_code = np.empty(n, dtype=np.int64)
         iteration = np.empty(n, dtype=np.int64)
+        device_rank = np.empty(n, dtype=np.int64)
         for i, event in enumerate(self.events):
             event_id[i] = event.event_id
             kind_code[i] = KIND_CODES[event.kind]
@@ -147,10 +149,11 @@ class MemoryTrace:
             size[i] = event.size
             category_code[i] = CATEGORY_CODES[event.category]
             iteration[i] = event.iteration
+            device_rank[i] = event.device_rank
         columns = EventColumns(event_id=event_id, kind_code=kind_code,
                                timestamp_ns=timestamp_ns, block_id=block_id,
                                size=size, category_code=category_code,
-                               iteration=iteration)
+                               iteration=iteration, device_rank=device_rank)
         self._columns_cache = columns
         return columns
 
@@ -217,6 +220,31 @@ class MemoryTrace:
     def events_in_iteration(self, iteration: int) -> List[MemoryEvent]:
         """All events attributed to one training iteration."""
         return [event for event in self.events if event.iteration == iteration]
+
+    # -- multi-device (data-parallel) views -------------------------------------------
+
+    def ranks(self) -> List[int]:
+        """Device ranks that appear in the trace (``[0]`` for single-device)."""
+        if not self.events:
+            return []
+        return [int(rank) for rank in np.unique(self.columns().device_rank)]
+
+    def for_rank(self, rank: int) -> "MemoryTrace":
+        """The single-rank slice of a (possibly merged multi-device) trace.
+
+        Events and lifetimes of other ranks are dropped; iteration marks and
+        metadata are shared across ranks and kept as-is.
+        """
+        metadata = dict(self.metadata)
+        metadata["device_rank"] = int(rank)
+        return MemoryTrace(
+            events=[event for event in self.events if event.device_rank == rank],
+            lifetimes=[lifetime for lifetime in self.lifetimes
+                       if lifetime.device_rank == rank],
+            iteration_marks=list(self.iteration_marks),
+            metadata=metadata,
+            end_ns=self.end_ns,
+        )
 
     def iterations(self) -> List[int]:
         """Indices of all iterations that have a recorded mark."""
@@ -322,7 +350,7 @@ class MemoryTrace:
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         fields = ["event_id", "kind", "timestamp_ns", "block_id", "address", "size",
-                  "category", "tag", "iteration", "op"]
+                  "category", "tag", "iteration", "op", "device_rank"]
         with open(path, "w", newline="", encoding="utf-8") as handle:
             writer = csv.DictWriter(handle, fieldnames=fields)
             writer.writeheader()
@@ -342,3 +370,76 @@ class MemoryTrace:
             "peak_live_bytes": self.peak_live_bytes(),
             "counts_by_kind": self.counts_by_kind(),
         }
+
+
+def merge_rank_traces(traces: Sequence[MemoryTrace]) -> MemoryTrace:
+    """Merge per-rank traces of one data-parallel run into a single trace.
+
+    Each input trace is the recording of one replica device.  The merge
+
+    * stamps every event and lifetime with its ``device_rank``;
+    * offsets block ids so that rank-local identities stay unique in the
+      merged stream (ATI pairing and the per-block analyses keep working on
+      the merged trace without cross-rank aliasing);
+    * orders events by ``(timestamp, rank)`` and renumbers ``event_id``
+      contiguously so that event-order semantics (Figure 4's x-axis, the ATI
+      closing-event sort) remain meaningful;
+    * unions iteration marks per index (earliest start, latest end) since
+      ranks enter and leave iterations at slightly different simulated times.
+
+    A single-trace merge returns the input unchanged (rank 0 is the
+    degenerate case), so single-device sessions stay byte-identical.
+    """
+    traces = list(traces)
+    if not traces:
+        raise EmptyTraceError("cannot merge zero rank traces")
+    if len(traces) == 1:
+        return traces[0]
+
+    from dataclasses import replace as _replace
+
+    # Block ids are positive; segment pseudo-ids are negative.  Offset both
+    # per rank by the running maximum magnitude so identities never collide.
+    stamped: List[MemoryEvent] = []
+    lifetimes: List[BlockLifetime] = []
+    block_offset = 0
+    for rank, trace in enumerate(traces):
+        magnitudes = [abs(event.block_id) for event in trace.events]
+        for event in trace.events:
+            shifted = (event.block_id + block_offset if event.block_id > 0
+                       else event.block_id - block_offset)
+            stamped.append(_replace(event, block_id=shifted, device_rank=rank))
+        for lifetime in trace.lifetimes:
+            lifetimes.append(_replace(lifetime, block_id=lifetime.block_id + block_offset,
+                                      device_rank=rank))
+        block_offset += max(magnitudes, default=0)
+
+    stamped.sort(key=lambda event: (event.timestamp_ns, event.device_rank,
+                                    event.event_id))
+    events = [_replace(event, event_id=index) for index, event in enumerate(stamped)]
+
+    marks: Dict[int, IterationMark] = {}
+    for trace in traces:
+        for mark in trace.iteration_marks:
+            merged = marks.get(mark.index)
+            if merged is None:
+                marks[mark.index] = IterationMark(index=mark.index,
+                                                  start_ns=mark.start_ns,
+                                                  end_ns=mark.end_ns,
+                                                  meta=dict(mark.meta))
+            else:
+                merged.start_ns = min(merged.start_ns, mark.start_ns)
+                if mark.end_ns is not None:
+                    merged.end_ns = (mark.end_ns if merged.end_ns is None
+                                     else max(merged.end_ns, mark.end_ns))
+
+    metadata = dict(traces[0].metadata)
+    metadata["n_devices"] = len(traces)
+    metadata.pop("device_rank", None)
+    return MemoryTrace(
+        events=events,
+        lifetimes=lifetimes,
+        iteration_marks=[marks[index] for index in sorted(marks)],
+        metadata=metadata,
+        end_ns=max(trace.end_ns for trace in traces),
+    )

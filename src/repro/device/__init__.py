@@ -21,6 +21,17 @@ from .allocator import (
 )
 from .bandwidth import BandwidthMeasurement, BandwidthReport, BandwidthTest
 from .clock import DeviceClock
+from .cluster import (
+    ALLREDUCE_ALGORITHMS,
+    ClusterSpec,
+    DeviceGroup,
+    INTERCONNECT_PRESETS,
+    InterconnectSpec,
+    get_interconnect,
+    naive_allreduce_time_ns,
+    ring_allreduce_time_ns,
+)
+from .collective import CollectiveEngine, CollectiveRecord
 from .device import Device, EXECUTION_MODES
 from .dma import CopyRecord, DmaEngine
 from .hooks import CompositeListener, CountingListener, MemoryEventListener, NullListener
@@ -45,6 +56,7 @@ from .timing import (
 
 __all__ = [
     "ALLOCATOR_CLASSES",
+    "ALLREDUCE_ALGORITHMS",
     "AllocatorStats",
     "BandwidthMeasurement",
     "BandwidthReport",
@@ -54,15 +66,21 @@ __all__ = [
     "Block",
     "BumpAllocator",
     "CachingAllocator",
+    "ClusterSpec",
+    "CollectiveEngine",
+    "CollectiveRecord",
     "CompositeListener",
     "CopyRecord",
     "CountingListener",
     "DEVICE_PRESETS",
     "Device",
     "DeviceClock",
+    "DeviceGroup",
     "DeviceSpec",
     "DmaEngine",
     "EXECUTION_MODES",
+    "INTERCONNECT_PRESETS",
+    "InterconnectSpec",
     "KernelCost",
     "KernelTimingModel",
     "LARGE_SEGMENT_SIZE",
@@ -78,9 +96,12 @@ __all__ = [
     "conv2d_cost",
     "elementwise_cost",
     "get_device_spec",
+    "get_interconnect",
     "make_allocator",
     "matmul_cost",
+    "naive_allreduce_time_ns",
     "reduction_cost",
+    "ring_allreduce_time_ns",
     "round_block_size",
     "segment_size_for",
     "small_test_device",

@@ -1,0 +1,124 @@
+"""Cross-device collective engine (the multi-device sibling of the DMA engine).
+
+Data-parallel training inserts one gradient allreduce per iteration between
+the backward pass and the optimizer step.  :class:`CollectiveEngine` models
+that operation's *timing*: a collective is a barrier (it starts when the
+slowest participating replica arrives) followed by an algorithm-dependent
+transfer cost from the cluster's cost model
+(:meth:`~repro.device.cluster.ClusterSpec.allreduce_time_ns`), after which
+every replica clock has advanced to the same completion time.
+
+The engine deliberately knows nothing about tensors: the training loop
+(:class:`~repro.train.trainer.DataParallelTrainer`) owns the gradient
+buffers, emits their read/write memory behaviors and performs the numeric
+averaging in eager mode, exactly as the :class:`~repro.device.dma.DmaEngine`
+split keeps copies separate from the storage they move.  A one-replica
+cluster costs nothing and moves no clock, so single-device runs are
+unaffected by the engine's existence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from .clock import DeviceClock
+from .cluster import ClusterSpec
+
+
+@dataclass(frozen=True)
+class CollectiveRecord:
+    """One collective operation performed by the engine."""
+
+    kind: str          # e.g. "allreduce"
+    nbytes: int
+    start_ns: int
+    end_ns: int
+    algorithm: str
+    world_size: int
+    tag: str = ""
+
+    @property
+    def duration_ns(self) -> int:
+        """Duration of the collective in nanoseconds."""
+        return self.end_ns - self.start_ns
+
+    def to_dict(self) -> Dict[str, object]:
+        """Serialize the record for result summaries."""
+        return {
+            "kind": self.kind,
+            "nbytes": self.nbytes,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+            "duration_ns": self.duration_ns,
+            "algorithm": self.algorithm,
+            "world_size": self.world_size,
+            "tag": self.tag,
+        }
+
+
+class CollectiveEngine:
+    """Models collectives across the replica clocks of one cluster.
+
+    Parameters
+    ----------
+    cluster:
+        The cluster specification supplying the allreduce cost model.
+    clocks:
+        One :class:`~repro.device.clock.DeviceClock` per replica, in rank
+        order; collectives barrier and then advance all of them together.
+    """
+
+    def __init__(self, cluster: ClusterSpec, clocks: Sequence[DeviceClock]):
+        self.cluster = cluster
+        self.clocks = list(clocks)
+        self.records: List[CollectiveRecord] = []
+
+    @property
+    def world_size(self) -> int:
+        """Number of replicas participating in collectives."""
+        return len(self.clocks)
+
+    def allreduce(self, nbytes: int, tag: str = "") -> CollectiveRecord:
+        """Model one allreduce of ``nbytes``: barrier, then the transfer cost.
+
+        The operation starts when the last replica arrives (``max`` over the
+        clocks) and every clock is advanced to the shared completion time.
+        With one replica the cost is zero and no clock moves.
+        """
+        start = max(clock.now_ns for clock in self.clocks)
+        duration = self.cluster.allreduce_time_ns(nbytes)
+        end = start + duration
+        for clock in self.clocks:
+            clock.advance_to(end)
+        record = CollectiveRecord(
+            kind="allreduce", nbytes=int(nbytes), start_ns=start, end_ns=end,
+            algorithm=self.cluster.allreduce_algorithm, world_size=self.world_size,
+            tag=tag,
+        )
+        self.records.append(record)
+        return record
+
+    # -- aggregation ------------------------------------------------------------------
+
+    def total_bytes(self) -> int:
+        """Total bytes reduced across all recorded collectives."""
+        return sum(record.nbytes for record in self.records)
+
+    def total_time_ns(self) -> int:
+        """Total simulated time spent inside collectives."""
+        return sum(record.duration_ns for record in self.records)
+
+    def summary(self) -> Dict[str, object]:
+        """Compact aggregate used by session results and the scaling report."""
+        count = len(self.records)
+        total_ns = self.total_time_ns()
+        return {
+            "count": count,
+            "world_size": self.world_size,
+            "algorithm": self.cluster.allreduce_algorithm,
+            "interconnect": self.cluster.interconnect.name,
+            "total_bytes": self.total_bytes(),
+            "total_time_ns": total_ns,
+            "mean_time_ns": (total_ns / count) if count else 0.0,
+        }

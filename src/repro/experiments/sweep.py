@@ -27,11 +27,15 @@ all share one execution path.
 Sweep axes
 ----------
 ``models x batch_sizes x iterations x allocators x device_specs x dtypes x
-host_dispatch_overheads_ns x seeds x swap_policies``.  The policy axis is
-backed by the :mod:`repro.baselines` registry (swapping variants,
-recomputation, parameter compression); the dtype axis sets the device's
-default training precision; the device axis also selects the Eq.-1
-bandwidths unless the runner overrides them explicitly.
+n_devices x interconnects x host_dispatch_overheads_ns x seeds x
+swap_policies``.  The policy axis is backed by the :mod:`repro.baselines`
+registry (swapping variants, recomputation, parameter compression); the
+dtype axis sets the device's default training precision; the device axis
+also selects the Eq.-1 bandwidths unless the runner overrides them
+explicitly.  The ``n_devices`` and ``interconnects`` axes make each
+scenario a data-parallel cluster (batch sharded across replicas, gradient
+allreduce on the named interconnect before every optimizer step); results
+then report *per-replica* peaks plus the collective summary.
 
 Per-scenario reduction runs on the trace's column store
 (:meth:`~repro.core.trace.MemoryTrace.columns`): ATI pairing via
@@ -74,7 +78,9 @@ from ..units import MIB
 
 #: Version of the cached result schema; bump to invalidate every cache entry.
 #: v2: policies generalized to the baselines registry, dtype axis added.
-RESULT_SCHEMA_VERSION = 2
+#: v3: data-parallel axes (n_devices, interconnect), collective summaries,
+#:     fp32 master weights under half-precision training.
+RESULT_SCHEMA_VERSION = 3
 
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "REPRO_SWEEP_CACHE"
@@ -150,7 +156,8 @@ class Scenario:
         c = self.config
         return (f"{c.model}/{c.dataset} batch={c.batch_size} iters={c.iterations} "
                 f"alloc={c.allocator} swap={self.swap_policy} device={c.device_spec} "
-                f"dtype={c.dtype} mode={c.execution_mode}")
+                f"dtype={c.dtype} ndev={c.n_devices} link={c.interconnect} "
+                f"mode={c.execution_mode}")
 
 
 @dataclass
@@ -169,6 +176,8 @@ class SweepGrid:
     swap_policies: Sequence[str] = ("none",)
     device_specs: Sequence[str] = ("titan_x_pascal",)
     dtypes: Sequence[str] = ("float32",)
+    n_devices: Sequence[int] = (1,)
+    interconnects: Sequence[str] = ("pcie_gen3",)
     host_dispatch_overheads_ns: Sequence[Optional[int]] = (None,)
     seeds: Sequence[int] = (0,)
     # shared scalars
@@ -177,6 +186,7 @@ class SweepGrid:
     model_kwargs: Dict[str, object] = field(default_factory=dict)
     dataset_kwargs: Dict[str, object] = field(default_factory=dict)
     optimizer: str = "sgd"
+    allreduce_algorithm: str = "ring"
     device_memory_capacity: Optional[int] = None
     host_latency: Optional[object] = None  # HostLatencyModel
 
@@ -185,6 +195,7 @@ class SweepGrid:
         return (len(self.models) * len(self.batch_sizes) * len(self.iterations)
                 * len(self.allocators) * len(self.swap_policies)
                 * len(self.device_specs) * len(self.dtypes)
+                * len(self.n_devices) * len(self.interconnects)
                 * len(self.host_dispatch_overheads_ns) * len(self.seeds))
 
     def expand(self) -> List[Scenario]:
@@ -198,11 +209,11 @@ class SweepGrid:
         # baselines of one workload sit together in the summary table.
         axes = itertools.product(
             self.models, self.batch_sizes, self.iterations, self.allocators,
-            self.device_specs, self.dtypes, self.host_dispatch_overheads_ns,
-            self.seeds, self.swap_policies,
+            self.device_specs, self.dtypes, self.n_devices, self.interconnects,
+            self.host_dispatch_overheads_ns, self.seeds, self.swap_policies,
         )
         for (model, batch_size, iterations, allocator, device_spec, dtype,
-             overhead, seed, policy) in axes:
+             n_devices, interconnect, overhead, seed, policy) in axes:
             config = TrainingRunConfig(
                 model=model,
                 model_kwargs=dict(self.model_kwargs),
@@ -219,6 +230,9 @@ class SweepGrid:
                 host_latency=self.host_latency,
                 device_memory_capacity=self.device_memory_capacity,
                 host_dispatch_overhead_ns=overhead,
+                n_devices=n_devices,
+                interconnect=interconnect,
+                allreduce_algorithm=self.allreduce_algorithm,
                 label=f"{model}-batch{batch_size}-{allocator}",
             )
             scenarios.append(Scenario(config=config, swap_policy=policy))
@@ -250,6 +264,7 @@ class ScenarioResult:
     allocator_stats: Dict[str, int]
     mean_utilization: float
     wall_time_s: float
+    collective: Optional[Dict[str, object]] = None  # allreduce summary (n_devices>1)
     from_cache: bool = False
 
     def to_dict(self) -> Dict[str, object]:
@@ -273,10 +288,14 @@ class ScenarioResult:
     def row(self) -> Dict[str, object]:
         """One tidy flat row for the aggregate summary table."""
         row: Dict[str, object] = dict(self.scenario)
+        collective = self.collective or {}
+        iterations = max(1, int(self.scenario.get("iterations", 1)))
         row.update({
             "peak_alloc_mib": round(self.peak_allocated_bytes / MIB, 2),
             "peak_reserved_mib": round(self.peak_reserved_bytes / MIB, 2),
             "step_time_ms": round(self.step_time_s_mean * 1e3, 3),
+            "allreduce_ms": round(
+                float(collective.get("total_time_ns", 0.0)) / iterations / 1e6, 3),
             "ati_count": int(self.ati.get("count", 0)),
             "ati_p50_us": round(float(self.ati.get("p50_us", 0.0)), 3),
             "ati_p90_us": round(float(self.ati.get("p90_us", 0.0)), 3),
@@ -291,8 +310,19 @@ class ScenarioResult:
 
 def _swap_policy_summary(policy: str, session: SessionResult,
                          bandwidths: BandwidthConfig) -> Optional[Dict[str, object]]:
-    """Evaluate the requested policy (from the baselines registry) on the trace."""
-    return get_policy(policy).evaluate(session.trace, bandwidths)
+    """Evaluate the requested policy (from the baselines registry) on the trace.
+
+    Multi-device sessions evaluate the policy on the rank-0 replica's slice:
+    every policy then reports *per-device* peaks and savings, directly
+    comparable with the scenario's per-replica ``peak_allocated_bytes``
+    (the merged trace would count each replicated parameter/gradient block
+    once per rank).  The slice keeps the session metadata, so the rank-aware
+    ZeRO-Offload partitioning still sees the cluster size.
+    """
+    trace = session.trace
+    if session.n_devices > 1:
+        trace = trace.for_rank(0)
+    return get_policy(policy).evaluate(trace, bandwidths)
 
 
 def run_scenario(scenario: Scenario,
@@ -302,6 +332,12 @@ def run_scenario(scenario: Scenario,
     This is the worker function shipped to the process pool, so it must stay
     importable at module top level and both its argument and its return value
     must pickle.
+
+    Multi-device semantics: ``peak_allocated_bytes`` / ``peak_reserved_bytes``
+    and the policy summary are *per replica* (what must fit one device),
+    while ``peak_live_bytes``, the event counts, the ATI distribution and
+    the occupation breakdown aggregate the merged multi-rank trace
+    (cluster-wide totals).
     """
     bandwidths = scenario.resolve_bandwidths(bandwidths)
     started = time.perf_counter()
@@ -335,6 +371,8 @@ def run_scenario(scenario: Scenario,
             "swap_policy": scenario.swap_policy,
             "device_spec": config.device_spec,
             "dtype": config.dtype,
+            "n_devices": config.n_devices,
+            "interconnect": config.interconnect,
             "execution_mode": config.execution_mode,
             "seed": config.seed,
         },
@@ -355,6 +393,7 @@ def run_scenario(scenario: Scenario,
         allocator_stats={k: int(v) for k, v in stats.items()},
         mean_utilization=float(mean_utilization),
         wall_time_s=time.perf_counter() - started,
+        collective=session.collective,
     )
 
 
@@ -385,8 +424,9 @@ class SweepResult:
             return "(empty sweep)"
         if columns is None:
             columns = ["model", "dataset", "batch_size", "iterations", "allocator",
-                       "swap_policy", "device_spec", "dtype", "peak_alloc_mib",
-                       "step_time_ms", "ati_p50_us", "ati_p90_us", "swappable_frac",
+                       "swap_policy", "device_spec", "dtype", "n_devices",
+                       "interconnect", "peak_alloc_mib", "step_time_ms",
+                       "allreduce_ms", "ati_p50_us", "ati_p90_us", "swappable_frac",
                        "swap_savings_mib", "cached"]
             columns = [c for c in columns if c in rows[0]]
         return render_table(rows, columns=columns)

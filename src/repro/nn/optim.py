@@ -3,15 +3,28 @@
 Optimizer state (momentum buffers, Adam moments) is allocated lazily on the
 first step and then persists for the rest of training, just like in PyTorch.
 In the paper's three-way breakdown this state is grouped with the parameters.
+
+Mixed-precision realism: when a parameter is stored in a reduced-precision
+dtype (``float16`` training), the optimizer follows the standard AMP recipe
+instead of letting everything shadow the training dtype — it keeps a
+*float32 master copy* of the weights plus float32 optimizer state, updates
+the master, and writes the half-precision parameter back as a downcast.
+Both the master copies and the state buffers live in the
+``optimizer_state`` memory category, so half-precision runs show the
+realistic footprint: half-size parameters/gradients/activations but
+full-size optimizer state.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional
 
+import numpy as np
+
 from ..core.events import MemoryCategory
 from ..errors import ConfigurationError
 from ..tensor import functional as F
+from ..tensor.dtype import DType, float32
 from ..tensor.tensor import Tensor, empty
 from .parameter import Parameter
 
@@ -27,6 +40,7 @@ class Optimizer:
             raise ConfigurationError(f"learning rate must be positive, got {lr}")
         self.lr = float(lr)
         self.step_count = 0
+        self._master_weights: Dict[int, Tensor] = {}
 
     def zero_grad(self) -> None:
         """Zero every existing parameter gradient."""
@@ -37,9 +51,56 @@ class Optimizer:
         """Apply one update to every parameter that has a gradient."""
         raise NotImplementedError
 
+    # -- mixed-precision support -------------------------------------------------------
+
+    @staticmethod
+    def _needs_master(parameter: Parameter) -> bool:
+        """Whether the parameter's dtype is a reduced-precision float (AMP)."""
+        dtype = parameter.data.dtype
+        return dtype.numpy_dtype.kind == "f" and dtype.itemsize < float32.itemsize
+
+    @classmethod
+    def state_dtype(cls, parameter: Parameter) -> DType:
+        """Dtype of this parameter's optimizer state (fp32 under half precision)."""
+        return float32 if cls._needs_master(parameter) else parameter.data.dtype
+
+    def master_weight(self, index: int, parameter: Parameter) -> Optional[Tensor]:
+        """The fp32 master copy of a reduced-precision parameter (lazy; else None).
+
+        Allocation reads the half-precision weights and writes the upcast
+        master copy, exactly the memory behaviors of AMP's master-weight
+        initialization.
+        """
+        if not self._needs_master(parameter):
+            return None
+        if index not in self._master_weights:
+            master = empty(parameter.device, parameter.shape, dtype=float32,
+                           category=MemoryCategory.OPTIMIZER_STATE,
+                           tag=f"{parameter.name}.master")
+            if master.storage.is_materialized:
+                master.storage.set_buffer(
+                    parameter.data.numpy().reshape(-1).astype(np.float32))
+            parameter.data.storage.record_read("master_init")
+            master.storage.record_write("master_init")
+            self._master_weights[index] = master
+        return self._master_weights[index]
+
+    def _writeback_master(self, master: Tensor, parameter: Parameter) -> None:
+        """Downcast the updated fp32 master back into the half-precision parameter."""
+        if parameter.data.storage.is_materialized:
+            parameter.data.storage.set_buffer(
+                master.numpy().reshape(-1)
+                .astype(parameter.data.dtype.numpy_dtype))
+        master.storage.record_read("master_downcast")
+        parameter.data.storage.record_write("master_downcast")
+
+    def master_weight_bytes(self) -> int:
+        """Total device bytes of fp32 master weight copies (0 in fp32 training)."""
+        return sum(master.nbytes for master in self._master_weights.values())
+
     def state_bytes(self) -> int:
-        """Total device bytes of optimizer state."""
-        return 0
+        """Total device bytes of optimizer state (master copies included)."""
+        return self.master_weight_bytes()
 
 
 class SGD(Optimizer):
@@ -58,7 +119,8 @@ class SGD(Optimizer):
         if self.momentum == 0.0:
             return None
         if index not in self._momentum_buffers:
-            buffer = empty(parameter.device, parameter.shape, dtype=parameter.data.dtype,
+            buffer = empty(parameter.device, parameter.shape,
+                           dtype=self.state_dtype(parameter),
                            category=MemoryCategory.OPTIMIZER_STATE,
                            tag=f"{parameter.name}.momentum")
             F.zero_(buffer)
@@ -71,11 +133,16 @@ class SGD(Optimizer):
             if parameter.grad is None:
                 continue
             buffer = self._momentum_buffer(index, parameter)
-            F.sgd_step(parameter.data, parameter.grad, buffer, lr=self.lr,
+            master = self.master_weight(index, parameter)
+            target = master if master is not None else parameter.data
+            F.sgd_step(target, parameter.grad, buffer, lr=self.lr,
                        momentum=self.momentum, weight_decay=self.weight_decay)
+            if master is not None:
+                self._writeback_master(master, parameter)
 
     def state_bytes(self) -> int:
-        return sum(buffer.nbytes for buffer in self._momentum_buffers.values())
+        return (super().state_bytes()
+                + sum(buffer.nbytes for buffer in self._momentum_buffers.values()))
 
 
 class Adam(Optimizer):
@@ -93,7 +160,8 @@ class Adam(Optimizer):
     def _moments(self, index: int, parameter: Parameter) -> tuple:
         if index not in self._exp_avg:
             for store, suffix in ((self._exp_avg, "exp_avg"), (self._exp_avg_sq, "exp_avg_sq")):
-                buffer = empty(parameter.device, parameter.shape, dtype=parameter.data.dtype,
+                buffer = empty(parameter.device, parameter.shape,
+                               dtype=self.state_dtype(parameter),
                                category=MemoryCategory.OPTIMIZER_STATE,
                                tag=f"{parameter.name}.{suffix}")
                 F.zero_(buffer)
@@ -106,10 +174,14 @@ class Adam(Optimizer):
             if parameter.grad is None:
                 continue
             exp_avg, exp_avg_sq = self._moments(index, parameter)
-            F.adam_step(parameter.data, parameter.grad, exp_avg, exp_avg_sq, lr=self.lr,
+            master = self.master_weight(index, parameter)
+            target = master if master is not None else parameter.data
+            F.adam_step(target, parameter.grad, exp_avg, exp_avg_sq, lr=self.lr,
                         beta1=self.beta1, beta2=self.beta2, eps=self.eps,
                         step=self.step_count, weight_decay=self.weight_decay)
+            if master is not None:
+                self._writeback_master(master, parameter)
 
     def state_bytes(self) -> int:
         moments = list(self._exp_avg.values()) + list(self._exp_avg_sq.values())
-        return sum(buffer.nbytes for buffer in moments)
+        return super().state_bytes() + sum(buffer.nbytes for buffer in moments)

@@ -28,7 +28,7 @@ from ..experiments.fig5_breakdown import DEFAULT_FIG5_WORKLOADS, fig5_scenarios
 from ..experiments.sweep import Scenario, ScenarioResult, SweepGrid, SweepRunner
 from ..core.breakdown import BreakdownSeries
 from ..units import GB, KB, MIB, us_to_ns
-from ..viz import render_stacked_bars, render_svg_stacked_bars
+from ..viz import render_stacked_bars, render_svg_bars, render_svg_stacked_bars
 from .markdown import (
     GENERATED_BANNER,
     code_block,
@@ -60,6 +60,10 @@ class ReportProfile:
     ablation_iterations: int
     ablation_hidden_dim: int
     timing_overheads_us: Tuple[float, ...]
+    scaling_batch_size: int = 4096
+    scaling_iterations: int = 3
+    scaling_n_devices: Tuple[int, ...] = (1, 2, 4, 8)
+    scaling_interconnects: Tuple[str, ...] = ("pcie_gen3", "nvlink2")
 
 
 #: The committed docs tree: the paper's grids.
@@ -82,6 +86,10 @@ FULL_PROFILE = ReportProfile(
     ablation_iterations=4,
     ablation_hidden_dim=2048,
     timing_overheads_us=(1.0, 6.0, 20.0, 50.0),
+    scaling_batch_size=4096,
+    scaling_iterations=3,
+    scaling_n_devices=(1, 2, 4, 8),
+    scaling_interconnects=("pcie_gen3", "nvlink2"),
 )
 
 #: Miniature grids for the golden-file tests (same page structure, seconds).
@@ -104,6 +112,10 @@ SMOKE_PROFILE = ReportProfile(
     ablation_iterations=2,
     ablation_hidden_dim=512,
     timing_overheads_us=(1.0, 20.0),
+    scaling_batch_size=256,
+    scaling_iterations=2,
+    scaling_n_devices=(1, 2),
+    scaling_interconnects=("pcie_gen3",),
 )
 
 PROFILES = {profile.name: profile for profile in (FULL_PROFILE, SMOKE_PROFILE)}
@@ -426,9 +438,141 @@ def build_ablations(runner: SweepRunner, profile: ReportProfile) -> FigurePage:
     )
 
 
+def scaling_grid(profile: ReportProfile) -> SweepGrid:
+    """The replica-count x interconnect grid behind the scaling page.
+
+    The workload is the paper MLP with its host-latency model; the *global*
+    batch is fixed while the replica count grows, so per-device activations
+    shrink while parameters, gradients and optimizer state replicate — the
+    data-parallel memory story — and every iteration inserts one gradient
+    allreduce on the configured interconnect.
+    """
+    return SweepGrid(
+        models=(profile.comparison_model,),
+        model_kwargs=dict(profile.comparison_model_kwargs),
+        batch_sizes=(profile.scaling_batch_size,),
+        iterations=(profile.scaling_iterations,),
+        n_devices=profile.scaling_n_devices,
+        interconnects=profile.scaling_interconnects,
+        host_latency=PAPER_MLP_HOST_LATENCY,
+        execution_mode="virtual",
+    )
+
+
+def scaling_scenarios(profile: ReportProfile) -> List[Scenario]:
+    """The scaling grid's scenarios, with the single-device point deduplicated.
+
+    With one replica the allreduce is skipped and the interconnect is never
+    used, so crossing ``n_devices=1`` with every interconnect would simulate
+    (and tabulate) byte-identical scenarios under different cache keys; only
+    the first interconnect's ``n=1`` point is kept.
+    """
+    scenarios = []
+    seen_single = False
+    for scenario in scaling_grid(profile).expand():
+        if scenario.config.n_devices == 1:
+            if seen_single:
+                continue
+            seen_single = True
+        scenarios.append(scenario)
+    return scenarios
+
+
+def build_scaling(runner: SweepRunner, profile: ReportProfile) -> FigurePage:
+    """Scaling page — per-device peak memory and step time vs replica count."""
+    sweep = runner.run(scaling_scenarios(profile))
+    rows = []
+    for result in sweep.results:
+        n = int(result.scenario["n_devices"])
+        link = str(result.scenario["interconnect"])
+        step_ms = result.step_time_s_mean * 1e3
+        collective = result.collective or {}
+        allreduce_ms = (float(collective.get("total_time_ns", 0.0))
+                        / max(1, int(result.scenario["iterations"])) / 1e6)
+        rows.append({
+            "n_devices": n,
+            "interconnect": link,
+            "peak_per_device_mib": fmt_mib(result.peak_allocated_bytes),
+            "peak_per_device_bytes": result.peak_allocated_bytes,
+            "step_time_ms": f"{step_ms:.3f}",
+            "allreduce_ms": f"{allreduce_ms:.3f}",
+            "allreduce_share": (allreduce_ms / step_ms) if step_ms else 0.0,
+        })
+
+    first_link = profile.scaling_interconnects[0]
+    base_series = [row for row in rows if row["interconnect"] == first_link]
+    peaks = [row["peak_per_device_bytes"] for row in base_series]
+    allreduce = [float(row["allreduce_ms"]) for row in base_series]
+    peak_shrinks = all(late <= early for early, late in zip(peaks, peaks[1:]))
+    allreduce_grows = all(early <= late
+                          for early, late in zip(allreduce, allreduce[1:]))
+    if len(profile.scaling_interconnects) > 1:
+        by_link = {link: [float(row["allreduce_ms"]) for row in rows
+                          if row["interconnect"] == link]
+                   for link in profile.scaling_interconnects}
+        fastest_helps = (max(by_link[profile.scaling_interconnects[-1]])
+                         <= max(by_link[first_link]))
+    else:
+        fastest_helps = True
+
+    page = FigurePage(
+        slug="scaling", fig_id="scaling",
+        title=(f"Scaling - data-parallel replicas "
+               f"(paper MLP, global batch {profile.scaling_batch_size})"),
+        finding=(f"per-device peak {fmt_mib(peaks[0])} -> {fmt_mib(peaks[-1])} MiB "
+                 f"from {base_series[0]['n_devices']} to "
+                 f"{base_series[-1]['n_devices']} replicas; allreduce "
+                 f"{allreduce[-1]:.3f} ms/step at the largest cluster"),
+        reproduce=("PYTHONPATH=src python -m repro sweep "
+                   f"--models {profile.comparison_model} "
+                   f"--batch-sizes {profile.scaling_batch_size} "
+                   "--n-devices "
+                   + ",".join(str(n) for n in profile.scaling_n_devices)
+                   + " --interconnects "
+                   + ",".join(profile.scaling_interconnects)),
+        checks=[
+            ("sharding the global batch shrinks the per-device peak as "
+             "replicas are added", peak_shrinks),
+            ("gradient-allreduce time grows with the replica count "
+             "(ring: 2(N-1)/N transfers of the gradient bytes)", allreduce_grows),
+            ("a faster interconnect reduces the collective's share of the step",
+             fastest_helps),
+        ],
+    )
+    intro = ("The single-device assumption is gone: each scenario below runs "
+             "N data-parallel replicas of the paper MLP on a simulated "
+             "cluster, the global batch sharded across ranks and one "
+             "gradient allreduce (ring cost model) inserted before every "
+             "optimizer step. Parameters, gradients and optimizer state "
+             "replicate per device while activations shrink with the shard, "
+             "so the per-device peak falls short of linear scaling - and the "
+             "interconnect decides how much of the step the collective eats.")
+    table = markdown_table(rows, columns=["n_devices", "interconnect",
+                                          "peak_per_device_mib", "step_time_ms",
+                                          "allreduce_ms"])
+    page.svgs["scaling_peak.svg"] = render_svg_bars(
+        [(f"n={row['n_devices']}", row["peak_per_device_bytes"] / MIB)
+         for row in base_series],
+        title=f"Per-device peak (MiB) vs replica count ({first_link})",
+        y_label="MiB per device")
+    composition_rows = [{
+        "label": f"n={row['n_devices']} {row['interconnect']}",
+        "compute": 1.0 - row["allreduce_share"],
+        "allreduce": row["allreduce_share"],
+    } for row in rows]
+    page.svgs["scaling_step.svg"] = render_svg_stacked_bars(
+        composition_rows, ("compute", "allreduce"), label_key="label",
+        title="Step-time composition (compute vs allreduce)")
+    return _page(
+        page, intro, table,
+        "![scaling peak](svg/scaling_peak.svg)",
+        "![scaling step](svg/scaling_step.svg)",
+    )
+
+
 #: Page builders in presentation order.
 FIGURE_BUILDERS = (build_fig2, build_fig3, build_fig4, build_fig5, build_fig6,
-                   build_fig7, build_ablations)
+                   build_fig7, build_ablations, build_scaling)
 
 
 def eq1_rows() -> List[Dict[str, object]]:

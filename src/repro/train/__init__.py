@@ -1,13 +1,24 @@
-"""Training loop and profiled training sessions."""
+"""Training loop (single-device and data-parallel) and profiled sessions."""
 
-from .session import SessionResult, TrainingRunConfig, build_device, run_training_session
-from .trainer import IterationStats, Trainer
+from .session import (
+    SessionResult,
+    TrainingRunConfig,
+    build_cluster,
+    build_device,
+    build_device_group,
+    run_training_session,
+)
+from .trainer import DataParallelTrainer, IterationStats, Trainer, shard_batch
 
 __all__ = [
+    "DataParallelTrainer",
     "IterationStats",
     "SessionResult",
     "Trainer",
     "TrainingRunConfig",
+    "build_cluster",
     "build_device",
+    "build_device_group",
     "run_training_session",
+    "shard_batch",
 ]

@@ -1,14 +1,24 @@
 """Profiled training sessions.
 
 A :class:`TrainingRunConfig` declaratively describes one training workload
-(model, dataset, batch size, device, allocator, execution mode, host latency)
-and :func:`run_training_session` builds every piece, attaches the memory
-profiler, trains for the requested number of iterations and returns the
-recorded trace together with the per-iteration statistics.
+(model, dataset, batch size, device, allocator, execution mode, host latency,
+replica count) and :func:`run_training_session` builds every piece, attaches
+the memory profiler, trains for the requested number of iterations and
+returns the recorded trace together with the per-iteration statistics.
 
 This is the single entry point used by the figure experiments, the examples
 and the benchmark harness, so every reported number flows through the exact
 same code path.
+
+Every session runs on a :class:`~repro.device.cluster.DeviceGroup`:
+``n_devices=1`` (the default, and the paper's setting) degenerates to one
+replica whose event stream is byte-identical to the historical single-device
+path — the golden-figure tests pin that equivalence.  With ``n_devices>1``
+the session becomes synchronous data-parallel training: one model/optimizer
+replica per device (identically seeded), the global batch sharded across
+ranks, a gradient allreduce on the configured interconnect before every
+optimizer step, and one memory profiler per replica whose traces are merged
+(with a ``device_rank`` dimension) into the session trace.
 """
 
 from __future__ import annotations
@@ -19,16 +29,17 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..core.profiler import MemoryProfiler
-from ..core.trace import MemoryTrace
+from ..core.trace import MemoryTrace, merge_rank_traces
 from ..data.datasets import build_dataset
 from ..data.loader import DataLoader, HostLatencyModel
+from ..device.cluster import ClusterSpec, DeviceGroup, get_interconnect
 from ..device.device import Device
 from ..device.spec import DeviceSpec, get_device_spec
 from ..errors import ConfigurationError
 from ..models.registry import build_model
 from ..nn.loss import CrossEntropyLoss
-from ..nn.optim import SGD, Adam
-from .trainer import IterationStats, Trainer
+from ..nn.optim import SGD, Adam, Optimizer
+from .trainer import DataParallelTrainer, IterationStats
 
 
 @dataclass
@@ -52,18 +63,28 @@ class TrainingRunConfig:
     host_latency: Optional[HostLatencyModel] = None
     device_memory_capacity: Optional[int] = None
     host_dispatch_overhead_ns: Optional[int] = None
+    n_devices: int = 1
+    interconnect: str = "pcie_gen3"
+    allreduce_algorithm: str = "ring"
     label: str = ""
 
     def describe(self) -> str:
         """Short human-readable description used as a default label."""
+        devices = f", n_devices={self.n_devices}" if self.n_devices > 1 else ""
         return (f"{self.model} on {self.dataset} "
                 f"(batch={self.batch_size}, iters={self.iterations}, "
-                f"mode={self.execution_mode})")
+                f"mode={self.execution_mode}{devices})")
 
 
 @dataclass
 class SessionResult:
-    """Everything produced by one profiled training run."""
+    """Everything produced by one profiled training run.
+
+    For multi-device sessions ``trace`` is the rank-merged trace (every event
+    carries its ``device_rank``), the peak byte counts are *per-replica*
+    peaks (max across ranks — the number that must fit each device), and
+    ``collective`` summarizes the gradient allreduces.
+    """
 
     config: TrainingRunConfig
     trace: MemoryTrace
@@ -73,6 +94,9 @@ class SessionResult:
     peak_allocated_bytes: int
     peak_reserved_bytes: int
     allocator_stats: Dict[str, int]
+    n_devices: int = 1
+    collective: Optional[Dict[str, object]] = None
+    rank_traces: Optional[List[MemoryTrace]] = None
 
     @property
     def label(self) -> str:
@@ -84,62 +108,117 @@ class SessionResult:
         return [stats.loss for stats in self.iteration_stats]
 
 
-def build_device(config: TrainingRunConfig) -> Device:
-    """Construct the simulated device described by a run configuration."""
+def build_cluster(config: TrainingRunConfig) -> ClusterSpec:
+    """Construct the cluster specification described by a run configuration."""
     spec: DeviceSpec = get_device_spec(config.device_spec)
     if config.device_memory_capacity is not None:
         spec = spec.with_memory_capacity(config.device_memory_capacity)
-    device_kwargs = {}
+    return ClusterSpec(
+        device=spec,
+        n_devices=int(config.n_devices),
+        interconnect=get_interconnect(config.interconnect),
+        allreduce_algorithm=config.allreduce_algorithm,
+    )
+
+
+def _device_kwargs(config: TrainingRunConfig) -> Dict[str, object]:
+    kwargs: Dict[str, object] = dict(
+        allocator=config.allocator,
+        execution_mode=config.execution_mode,
+        default_dtype=config.dtype,
+    )
     if config.host_dispatch_overhead_ns is not None:
-        device_kwargs["host_dispatch_overhead_ns"] = int(config.host_dispatch_overhead_ns)
-    return Device(spec, allocator=config.allocator, execution_mode=config.execution_mode,
-                  default_dtype=config.dtype, **device_kwargs)
+        kwargs["host_dispatch_overhead_ns"] = int(config.host_dispatch_overhead_ns)
+    return kwargs
+
+
+def build_device_group(config: TrainingRunConfig) -> DeviceGroup:
+    """Construct the replica device group described by a run configuration."""
+    return DeviceGroup(build_cluster(config), **_device_kwargs(config))
+
+
+def build_device(config: TrainingRunConfig) -> Device:
+    """Construct one simulated device described by a run configuration."""
+    return Device(build_cluster(config).device, **_device_kwargs(config))
+
+
+def _build_optimizer(config: TrainingRunConfig, model) -> Optimizer:
+    """Construct one replica's optimizer."""
+    if config.optimizer == "sgd":
+        return SGD(model.parameters(), lr=config.learning_rate,
+                   momentum=config.momentum)
+    if config.optimizer == "adam":
+        return Adam(model.parameters(), lr=config.learning_rate)
+    raise ConfigurationError(f"unknown optimizer '{config.optimizer}'")
 
 
 def run_training_session(config: TrainingRunConfig) -> SessionResult:
     """Run one profiled training session and return its trace and statistics."""
     if config.iterations <= 0:
         raise ConfigurationError("iterations must be positive")
-    device = build_device(config)
-    rng = np.random.default_rng(config.seed)
+    if config.n_devices < 1:
+        raise ConfigurationError("n_devices must be at least 1")
+    if config.batch_size < config.n_devices:
+        raise ConfigurationError(
+            f"batch_size ({config.batch_size}) must provide at least one sample "
+            f"per device ({config.n_devices})")
+    group = build_device_group(config)
+    n_devices = len(group)
 
-    profiler = MemoryProfiler(device, metadata={
+    base_metadata = {
         "workload": config.describe(),
         "model": config.model,
         "dataset": config.dataset,
         "batch_size": config.batch_size,
         "iterations": config.iterations,
-    })
+        "n_devices": n_devices,
+    }
+    if n_devices > 1:
+        base_metadata["interconnect"] = config.interconnect
+        base_metadata["allreduce_algorithm"] = config.allreduce_algorithm
+    profilers = [
+        MemoryProfiler(device, metadata={**base_metadata, "device_rank": rank})
+        for rank, device in enumerate(group)
+    ]
+
     # The paper instruments the allocator for the whole run, so model and
     # optimizer construction (parameter allocation + initialization) is
     # profiled too — it is what puts the "parameters" bytes in the breakdown.
-    with profiler:
-        model = build_model(config.model, device, rng=rng, **dict(config.model_kwargs))
+    # Every replica initializes from an identically seeded generator, so all
+    # ranks start (and, after each allreduce, stay) with the same weights.
+    for profiler in profilers:
+        profiler.start()
+    try:
+        models = [build_model(config.model, device,
+                              rng=np.random.default_rng(config.seed),
+                              **dict(config.model_kwargs))
+                  for device in group]
         dataset = build_dataset(config.dataset, seed=config.seed,
                                 **dict(config.dataset_kwargs))
         loader = DataLoader(dataset, batch_size=config.batch_size,
                             host_latency=config.host_latency)
-        loss_fn = CrossEntropyLoss(device, name="loss")
+        loss_fns = [CrossEntropyLoss(device, name="loss") for device in group]
+        optimizers = [_build_optimizer(config, model) for model in models]
 
-        if config.optimizer == "sgd":
-            optimizer = SGD(model.parameters(), lr=config.learning_rate,
-                            momentum=config.momentum)
-        elif config.optimizer == "adam":
-            optimizer = Adam(model.parameters(), lr=config.learning_rate)
-        else:
-            raise ConfigurationError(f"unknown optimizer '{config.optimizer}'")
-
-        trainer = Trainer(model, loader, optimizer, loss_fn, device, recorder=profiler)
+        trainer = DataParallelTrainer(group, models, loader, optimizers, loss_fns,
+                                      recorders=profilers)
         iteration_stats = trainer.train(config.iterations)
-    trace = profiler.trace()
+    finally:
+        for profiler in profilers:
+            profiler.stop()
+    rank_traces = [profiler.trace() for profiler in profilers]
+    trace = merge_rank_traces(rank_traces)
 
     return SessionResult(
         config=config,
         trace=trace,
         iteration_stats=iteration_stats,
-        parameter_bytes=model.parameter_bytes(),
-        parameter_count=model.parameter_count(),
-        peak_allocated_bytes=device.peak_allocated_bytes,
-        peak_reserved_bytes=device.peak_reserved_bytes,
-        allocator_stats=device.memory_stats(),
+        parameter_bytes=models[0].parameter_bytes(),
+        parameter_count=models[0].parameter_count(),
+        peak_allocated_bytes=max(device.peak_allocated_bytes for device in group),
+        peak_reserved_bytes=max(device.peak_reserved_bytes for device in group),
+        allocator_stats=group.primary.memory_stats(),
+        n_devices=n_devices,
+        collective=(trainer.collective_summary() if n_devices > 1 else None),
+        rank_traces=(rank_traces if n_devices > 1 else None),
     )

@@ -37,9 +37,19 @@ def test_report_contains_every_figure_page(files):
     assert "EXPERIMENTS.md" in files
     slugs = {f"docs/figures/{page}" for page in (
         "fig2_gantt.md", "fig3_ati.md", "fig4_outliers.md", "fig5_breakdown.md",
-        "fig6_alexnet.md", "fig7_resnet.md", "ablations.md")}
+        "fig6_alexnet.md", "fig7_resnet.md", "ablations.md", "scaling.md")}
     assert slugs <= set(files)
-    assert len(FIGURE_BUILDERS) == 7
+    assert len(FIGURE_BUILDERS) == 8
+
+
+def test_scaling_page_reports_replica_axis(files):
+    scaling = files["docs/figures/scaling.md"]
+    assert "--n-devices" in scaling
+    assert "n_devices" in scaling
+    assert "allreduce_ms" in scaling
+    assert "![scaling peak](svg/scaling_peak.svg)" in scaling
+    svg = files["docs/figures/svg/scaling_step.svg"]
+    assert svg.startswith("<svg ")
 
 
 def test_report_tables_expose_the_new_sweep_axes(files):
