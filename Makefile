@@ -1,12 +1,23 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test bench report docs-check sweep-smoke sweep-scaling clean-cache
+.PHONY: test bench bench-smoke bench-suite report docs-check sweep-smoke sweep-scaling clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
 
+# Record the sweep-throughput trajectory: run the reference grid in both
+# execution modes and write BENCH_sweep.json (see docs/performance.md).
 bench:
+	$(PYTHON) tools/bench.py --grid full
+
+# Fast symbolic-only benchmark with a wall-clock budget (the CI smoke job).
+bench-smoke:
+	$(PYTHON) tools/bench.py --grid quick --modes symbolic --budget-s 300 \
+		--out BENCH_smoke.json
+
+# The qualitative paper-claim benchmark suite (pytest-based, seconds-scale).
+bench-suite:
 	$(PYTHON) -m pytest benchmarks/ -q
 
 report:

@@ -58,7 +58,12 @@ def _build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--dataset", default="two_cluster", choices=sorted(DATASET_PRESETS))
     profile.add_argument("--batch-size", type=int, default=64)
     profile.add_argument("--iterations", type=int, default=5)
-    profile.add_argument("--execution-mode", default="virtual", choices=("eager", "virtual"))
+    profile.add_argument("--execution", "--execution-mode", dest="execution_mode",
+                         default="symbolic",
+                         choices=("eager", "symbolic", "virtual"),
+                         help="eager computes real values; symbolic (the "
+                              "default, legacy name: virtual) skips the "
+                              "numerics but records identical events/timing")
     profile.add_argument("--device", default="titan_x_pascal", choices=sorted(DEVICE_PRESETS))
     profile.add_argument("--allocator", default="caching",
                          choices=("caching", "best_fit", "bump"))
@@ -121,8 +126,12 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--seeds", default="0", help="comma-separated RNG seeds")
     sweep.add_argument("--dataset", default="two_cluster",
                        choices=sorted(DATASET_PRESETS))
-    sweep.add_argument("--execution-mode", default="virtual",
-                       choices=("eager", "virtual"))
+    sweep.add_argument("--execution", "--execution-mode", dest="execution_mode",
+                       default="symbolic",
+                       choices=("eager", "symbolic", "virtual"),
+                       help="eager computes real values; symbolic (the "
+                            "default, legacy name: virtual) skips the "
+                            "numerics but records identical events/timing")
     sweep.add_argument("--input-size", type=int, default=None,
                        help="model input resolution (conv models only)")
     sweep.add_argument("--num-classes", type=int, default=None)
@@ -238,9 +247,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from .report import check_report, generate_report, write_report
 
     cache_dir = args.cache_dir if args.cache_dir is not None else default_cache_dir()
-    runner = SweepRunner(cache_dir=cache_dir, workers=args.workers,
-                         use_cache=not args.no_cache)
-    files = generate_report(runner=runner, profile=args.profile)
+    with SweepRunner(cache_dir=cache_dir, workers=args.workers,
+                     use_cache=not args.no_cache) as runner:
+        files = generate_report(runner=runner, profile=args.profile)
     if args.check:
         stale = check_report(files, root=args.out)
         if stale:
@@ -330,12 +339,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         return 0
 
     cache_dir = args.cache_dir if args.cache_dir is not None else default_cache_dir()
-    runner = SweepRunner(cache_dir=cache_dir, workers=args.workers,
-                         use_cache=not args.no_cache)
-    if args.clear_cache:
-        removed = runner.clear_cache()
-        print(f"cleared {removed} cached result(s)")
-    result = runner.run(scenarios)
+    with SweepRunner(cache_dir=cache_dir, workers=args.workers,
+                     use_cache=not args.no_cache) as runner:
+        if args.clear_cache:
+            removed = runner.clear_cache()
+            print(f"cleared {removed} cached result(s)")
+        result = runner.run(scenarios)
 
     if args.as_json:
         print(json_module.dumps(result.rows(), indent=2, default=str))

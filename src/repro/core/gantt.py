@@ -169,7 +169,7 @@ def build_gantt_chart(trace: MemoryTrace, max_iterations: Optional[int] = None) 
     optimizer state) are closed at the trace end so they draw as full-width
     rectangles, exactly as in the paper's figure.
     """
-    end_ns = max(trace.end_ns, trace.events[-1].timestamp_ns if trace.events else 0)
+    end_ns = max(trace.end_ns, trace.start_ns + trace.duration_ns)
     bounds = [(mark.index, mark.start_ns, mark.end_ns if mark.end_ns is not None else end_ns)
               for mark in trace.iteration_marks]
     if max_iterations is not None:

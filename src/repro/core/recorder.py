@@ -2,7 +2,14 @@
 
 :class:`TraceRecorder` implements the device's
 :class:`~repro.device.hooks.MemoryEventListener` interface and turns every
-allocator/storage notification into a timestamped :class:`MemoryEvent`.
+allocator/storage notification into one timestamped row of a
+:class:`~repro.core.trace.ColumnarEventLog`.  The recorder is the hottest
+non-numeric path of a profiled run — every malloc/free/read/write lands
+here — so it appends straight into growable typed arrays instead of building
+a :class:`~repro.core.events.MemoryEvent` object per behavior; the object
+view is synthesized lazily by :class:`~repro.core.trace.MemoryTrace` only
+when something actually asks for it.
+
 It also tracks block lifetimes (for the Gantt chart of Figure 2) and
 iteration boundaries (for the iterative-pattern analysis).
 """
@@ -14,7 +21,15 @@ from typing import Dict, List, Optional
 from ..device.clock import DeviceClock
 from ..device.hooks import MemoryEventListener
 from .events import BlockLifetime, IterationMark, MemoryCategory, MemoryEvent, MemoryEventKind
-from .trace import MemoryTrace
+from .trace import CATEGORY_CODES, KIND_CODES, ColumnarEventLog, MemoryTrace
+
+_MALLOC = KIND_CODES[MemoryEventKind.MALLOC]
+_FREE = KIND_CODES[MemoryEventKind.FREE]
+_READ = KIND_CODES[MemoryEventKind.READ]
+_WRITE = KIND_CODES[MemoryEventKind.WRITE]
+_SEGMENT_ALLOC = KIND_CODES[MemoryEventKind.SEGMENT_ALLOC]
+_SEGMENT_FREE = KIND_CODES[MemoryEventKind.SEGMENT_FREE]
+_UNKNOWN_CATEGORY = CATEGORY_CODES[MemoryCategory.UNKNOWN]
 
 
 class TraceRecorder(MemoryEventListener):
@@ -23,12 +38,11 @@ class TraceRecorder(MemoryEventListener):
     def __init__(self, clock: DeviceClock, metadata: Optional[dict] = None):
         self.clock = clock
         self.metadata = dict(metadata or {})
-        self.events: List[MemoryEvent] = []
+        self.log = ColumnarEventLog()
         self.lifetimes: List[BlockLifetime] = []
         self.iteration_marks: List[IterationMark] = []
         self._open_lifetimes: Dict[int, BlockLifetime] = {}
         self._current_iteration = -1
-        self._next_event_id = 0
         self.enabled = True
 
     # -- iteration bookkeeping ------------------------------------------------------
@@ -53,36 +67,25 @@ class TraceRecorder(MemoryEventListener):
 
     # -- event capture ----------------------------------------------------------------
 
-    def _append(self, kind: MemoryEventKind, block_id: int, address: int, size: int,
-                category: MemoryCategory, tag: str, op: str = "") -> MemoryEvent:
-        event = MemoryEvent(
-            event_id=self._next_event_id,
-            kind=kind,
-            timestamp_ns=self.clock.now_ns,
-            block_id=block_id,
-            address=address,
-            size=size,
-            category=category,
-            tag=tag,
-            iteration=self._current_iteration,
-            op=op,
-        )
-        self._next_event_id += 1
-        self.events.append(event)
-        return event
+    @property
+    def events(self) -> List[MemoryEvent]:
+        """Object view of the recorded behaviors (synthesized; for inspection)."""
+        return self.to_trace().events
 
     def on_malloc(self, block, requested_size: int) -> None:
         if not self.enabled:
             return
-        self._append(MemoryEventKind.MALLOC, block.block_id, block.address, block.size,
-                     block.category, block.tag)
+        now_ns = self.clock.now_ns
+        self.log.append(_MALLOC, now_ns, block.block_id, block.address, block.size,
+                        CATEGORY_CODES[block.category], self._current_iteration,
+                        block.tag, "")
         lifetime = BlockLifetime(
             block_id=block.block_id,
             address=block.address,
             size=block.size,
             category=block.category,
             tag=block.tag,
-            malloc_ns=self.clock.now_ns,
+            malloc_ns=now_ns,
             iteration=self._current_iteration,
         )
         self._open_lifetimes[block.block_id] = lifetime
@@ -91,37 +94,43 @@ class TraceRecorder(MemoryEventListener):
     def on_free(self, block) -> None:
         if not self.enabled:
             return
-        self._append(MemoryEventKind.FREE, block.block_id, block.address, block.size,
-                     block.category, block.tag)
+        now_ns = self.clock.now_ns
+        self.log.append(_FREE, now_ns, block.block_id, block.address, block.size,
+                        CATEGORY_CODES[block.category], self._current_iteration,
+                        block.tag, "")
         lifetime = self._open_lifetimes.pop(block.block_id, None)
         if lifetime is not None:
-            lifetime.free_ns = self.clock.now_ns
+            lifetime.free_ns = now_ns
 
     def on_read(self, block, nbytes: int, op: str) -> None:
         if not self.enabled:
             return
-        self._append(MemoryEventKind.READ, block.block_id, block.address, block.size,
-                     block.category, block.tag, op=op)
+        self.log.append(_READ, self.clock.now_ns, block.block_id, block.address,
+                        block.size, CATEGORY_CODES[block.category],
+                        self._current_iteration, block.tag, op)
         self._bump_access(block.block_id)
 
     def on_write(self, block, nbytes: int, op: str) -> None:
         if not self.enabled:
             return
-        self._append(MemoryEventKind.WRITE, block.block_id, block.address, block.size,
-                     block.category, block.tag, op=op)
+        self.log.append(_WRITE, self.clock.now_ns, block.block_id, block.address,
+                        block.size, CATEGORY_CODES[block.category],
+                        self._current_iteration, block.tag, op)
         self._bump_access(block.block_id)
 
     def on_segment_alloc(self, segment) -> None:
         if not self.enabled:
             return
-        self._append(MemoryEventKind.SEGMENT_ALLOC, -segment.segment_id, segment.address,
-                     segment.size, MemoryCategory.UNKNOWN, f"segment:{segment.pool}")
+        self.log.append(_SEGMENT_ALLOC, self.clock.now_ns, -segment.segment_id,
+                        segment.address, segment.size, _UNKNOWN_CATEGORY,
+                        self._current_iteration, f"segment:{segment.pool}", "")
 
     def on_segment_free(self, segment) -> None:
         if not self.enabled:
             return
-        self._append(MemoryEventKind.SEGMENT_FREE, -segment.segment_id, segment.address,
-                     segment.size, MemoryCategory.UNKNOWN, f"segment:{segment.pool}")
+        self.log.append(_SEGMENT_FREE, self.clock.now_ns, -segment.segment_id,
+                        segment.address, segment.size, _UNKNOWN_CATEGORY,
+                        self._current_iteration, f"segment:{segment.pool}", "")
 
     def _bump_access(self, block_id: int) -> None:
         lifetime = self._open_lifetimes.get(block_id)
@@ -142,8 +151,11 @@ class TraceRecorder(MemoryEventListener):
 
     def to_trace(self) -> MemoryTrace:
         """Freeze the recorded behaviors into an immutable :class:`MemoryTrace`."""
+        tags, ops = self.log.snapshot_strings()
         return MemoryTrace(
-            events=list(self.events),
+            columns=self.log.snapshot_columns(),
+            event_tags=tags,
+            event_ops=ops,
             lifetimes=list(self.lifetimes),
             iteration_marks=list(self.iteration_marks),
             metadata=dict(self.metadata),
@@ -151,4 +163,4 @@ class TraceRecorder(MemoryEventListener):
         )
 
     def __len__(self) -> int:
-        return len(self.events)
+        return len(self.log)

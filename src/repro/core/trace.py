@@ -6,32 +6,41 @@ Every analysis in :mod:`repro.core` consumes this object, and it can be saved
 to / loaded from JSON (complete) or exported to CSV (events only, convenient
 for external plotting).
 
-Column-store layout (PR 1)
---------------------------
+Column-store layout (PR 1, columnar-first since PR 4)
+-----------------------------------------------------
 Besides the object-level ``events`` list, a trace exposes a columnar NumPy
 view through :meth:`MemoryTrace.columns`: one :class:`EventColumns` record of
-eight parallel ``int64`` arrays — ``event_id``, ``kind_code``,
-``timestamp_ns``, ``block_id``, ``size``, ``category_code``, ``iteration``
-and ``device_rank`` — one entry per event, in recording order.  Enum-valued fields
-are stored as stable integer codes (:data:`KIND_CODES` /
+nine parallel ``int64`` arrays — ``event_id``, ``kind_code``,
+``timestamp_ns``, ``block_id``, ``address``, ``size``, ``category_code``,
+``iteration`` and ``device_rank`` — one entry per event, in recording order.
+Enum-valued fields are stored as stable integer codes (:data:`KIND_CODES` /
 :data:`CATEGORY_CODES`, with :data:`KIND_FROM_CODE` /
 :data:`CATEGORY_FROM_CODE` for the reverse mapping) so every analysis can be
-expressed as vectorized masks and reductions over the arrays.  The view is
-built lazily on first use and cached keyed on the event count, so a recorder
-that is still appending events gets a fresh view while finalized traces pay
-the conversion once.  The ATI pairing (:mod:`repro.core.ati`), the
-occupation breakdown (:mod:`repro.core.breakdown`) and the sweep engine's
-Eq.-1 screening all run on this column store and never touch the Python
-event objects.
+expressed as vectorized masks and reductions over the arrays.  The ATI
+pairing (:mod:`repro.core.ati`), the occupation breakdown
+(:mod:`repro.core.breakdown`) and the sweep engine's Eq.-1 screening all run
+on this column store and never touch the Python event objects.
+
+Since PR 4 the column store is the *primary* representation: the trace
+recorder appends every behavior into a :class:`ColumnarEventLog` (growable
+``array('q')`` typed arrays plus string side-lists for ``tag``/``op``) and
+finalizes it straight into :class:`EventColumns` — no
+:class:`~repro.core.events.MemoryEvent` object is ever constructed on the
+hot path.  The ``MemoryTrace.events`` list is synthesized lazily, on first
+access, for object-level consumers (JSON/CSV persistence, tests, the
+object-based analyses); traces built *from* event objects (tests, JSON
+loads) still derive their columns lazily as before, so both directions stay
+fully interchangeable.
 """
 
 from __future__ import annotations
 
 import csv
 import json
-from dataclasses import dataclass, field
+from array import array
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -80,6 +89,7 @@ class EventColumns:
     category_code: np.ndarray  # int64, see CATEGORY_CODES
     iteration: np.ndarray     # int64
     device_rank: np.ndarray   # int64 (data-parallel rank; all zeros single-device)
+    address: np.ndarray = None  # int64 device virtual addresses (filled by builders)
 
     def __len__(self) -> int:
         return int(self.event_id.size)
@@ -110,62 +120,205 @@ class EventColumns:
                         np.where(self.is_free, -self.size, 0))
 
 
-@dataclass
-class MemoryTrace:
-    """All memory behaviors recorded during one profiled run."""
+class ColumnarEventLog:
+    """Growable typed-array event log the trace recorder appends into.
 
-    events: List[MemoryEvent] = field(default_factory=list)
-    lifetimes: List[BlockLifetime] = field(default_factory=list)
-    iteration_marks: List[IterationMark] = field(default_factory=list)
-    metadata: Dict[str, object] = field(default_factory=dict)
-    end_ns: int = 0
+    Each numeric field is an ``array('q')`` (a C-backed growable ``int64``
+    array with amortized O(1) append); the two string fields (``tag``,
+    ``op``) are plain Python lists.  Appending one behavior is therefore a
+    handful of C-level appends instead of a frozen-dataclass construction —
+    this is what makes symbolic-mode sweeps recorder-bound rather than
+    object-allocation-bound.  :meth:`snapshot_columns` converts the log into
+    an immutable :class:`EventColumns` (a bulk copy, so the log can keep
+    growing afterwards without invalidating earlier snapshots).
+    """
+
+    __slots__ = ("kind_code", "timestamp_ns", "block_id", "address", "size",
+                 "category_code", "iteration", "tag", "op")
+
+    def __init__(self) -> None:
+        self.kind_code = array("q")
+        self.timestamp_ns = array("q")
+        self.block_id = array("q")
+        self.address = array("q")
+        self.size = array("q")
+        self.category_code = array("q")
+        self.iteration = array("q")
+        self.tag: List[str] = []
+        self.op: List[str] = []
+
+    def __len__(self) -> int:
+        return len(self.kind_code)
+
+    def append(self, kind_code: int, timestamp_ns: int, block_id: int,
+               address: int, size: int, category_code: int, iteration: int,
+               tag: str, op: str) -> int:
+        """Append one behavior; returns the event id it was assigned."""
+        event_id = len(self.kind_code)
+        self.kind_code.append(kind_code)
+        self.timestamp_ns.append(timestamp_ns)
+        self.block_id.append(block_id)
+        self.address.append(address)
+        self.size.append(size)
+        self.category_code.append(category_code)
+        self.iteration.append(iteration)
+        self.tag.append(tag)
+        self.op.append(op)
+        return event_id
+
+    def snapshot_columns(self) -> EventColumns:
+        """Copy the current log contents into an immutable column record."""
+        n = len(self.kind_code)
+        return EventColumns(
+            event_id=np.arange(n, dtype=np.int64),
+            kind_code=np.array(self.kind_code, dtype=np.int64),
+            timestamp_ns=np.array(self.timestamp_ns, dtype=np.int64),
+            block_id=np.array(self.block_id, dtype=np.int64),
+            size=np.array(self.size, dtype=np.int64),
+            category_code=np.array(self.category_code, dtype=np.int64),
+            iteration=np.array(self.iteration, dtype=np.int64),
+            device_rank=np.zeros(n, dtype=np.int64),
+            address=np.array(self.address, dtype=np.int64),
+        )
+
+    def snapshot_strings(self) -> Tuple[List[str], List[str]]:
+        """Copies of the per-event ``tag`` and ``op`` side-lists."""
+        return list(self.tag), list(self.op)
+
+
+def _columns_from_events(events: Sequence[MemoryEvent]) -> EventColumns:
+    """Build the column record from a list of event objects (legacy direction)."""
+    n = len(events)
+    event_id = np.empty(n, dtype=np.int64)
+    kind_code = np.empty(n, dtype=np.int64)
+    timestamp_ns = np.empty(n, dtype=np.int64)
+    block_id = np.empty(n, dtype=np.int64)
+    address = np.empty(n, dtype=np.int64)
+    size = np.empty(n, dtype=np.int64)
+    category_code = np.empty(n, dtype=np.int64)
+    iteration = np.empty(n, dtype=np.int64)
+    device_rank = np.empty(n, dtype=np.int64)
+    for i, event in enumerate(events):
+        event_id[i] = event.event_id
+        kind_code[i] = KIND_CODES[event.kind]
+        timestamp_ns[i] = event.timestamp_ns
+        block_id[i] = event.block_id
+        address[i] = event.address
+        size[i] = event.size
+        category_code[i] = CATEGORY_CODES[event.category]
+        iteration[i] = event.iteration
+        device_rank[i] = event.device_rank
+    return EventColumns(event_id=event_id, kind_code=kind_code,
+                        timestamp_ns=timestamp_ns, block_id=block_id,
+                        size=size, category_code=category_code,
+                        iteration=iteration, device_rank=device_rank,
+                        address=address)
+
+
+class MemoryTrace:
+    """All memory behaviors recorded during one profiled run.
+
+    A trace holds one of two equivalent representations of its event stream
+    and converts between them lazily:
+
+    * *columnar* (the recorder's native output): an :class:`EventColumns`
+      record plus the ``tag``/``op`` string side-lists.  The ``events``
+      property synthesizes :class:`~repro.core.events.MemoryEvent` objects on
+      first access, so object-level consumers keep working unchanged.
+    * *object-level* (tests, ``from_dict``): a list of event objects;
+      :meth:`columns` derives the column record on first use, cached keyed on
+      the event count so a recorder that is still appending events
+      (``profiler.trace()`` mid-run) gets a fresh view.
+    """
+
+    def __init__(self, events: Optional[List[MemoryEvent]] = None,
+                 lifetimes: Optional[List[BlockLifetime]] = None,
+                 iteration_marks: Optional[List[IterationMark]] = None,
+                 metadata: Optional[Dict[str, object]] = None,
+                 end_ns: int = 0,
+                 columns: Optional[EventColumns] = None,
+                 event_tags: Optional[List[str]] = None,
+                 event_ops: Optional[List[str]] = None):
+        if events is None and columns is None:
+            events = []
+        self._events: Optional[List[MemoryEvent]] = events
+        self._columns_cache: Optional[EventColumns] = columns
+        self._event_tags = event_tags
+        self._event_ops = event_ops
+        self.lifetimes: List[BlockLifetime] = lifetimes if lifetimes is not None else []
+        self.iteration_marks: List[IterationMark] = (
+            iteration_marks if iteration_marks is not None else [])
+        self.metadata: Dict[str, object] = metadata if metadata is not None else {}
+        self.end_ns = end_ns
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"MemoryTrace(num_events={len(self)}, "
+                f"num_lifetimes={len(self.lifetimes)}, end_ns={self.end_ns})")
 
     # -- column store -------------------------------------------------------------------
 
     def columns(self) -> EventColumns:
-        """Column-oriented NumPy view of the event stream (built lazily, cached).
-
-        A trace is immutable once the profiler finalizes it; the cache is
-        keyed on the event count so a recorder that is still appending events
-        (``profiler.trace()`` mid-run) gets a fresh view.
-        """
-        cached = getattr(self, "_columns_cache", None)
-        if cached is not None and len(cached) == len(self.events):
+        """Column-oriented NumPy view of the event stream (built lazily, cached)."""
+        cached = self._columns_cache
+        if cached is not None and (self._events is None
+                                   or len(cached) == len(self._events)):
             return cached
-        n = len(self.events)
-        event_id = np.empty(n, dtype=np.int64)
-        kind_code = np.empty(n, dtype=np.int64)
-        timestamp_ns = np.empty(n, dtype=np.int64)
-        block_id = np.empty(n, dtype=np.int64)
-        size = np.empty(n, dtype=np.int64)
-        category_code = np.empty(n, dtype=np.int64)
-        iteration = np.empty(n, dtype=np.int64)
-        device_rank = np.empty(n, dtype=np.int64)
-        for i, event in enumerate(self.events):
-            event_id[i] = event.event_id
-            kind_code[i] = KIND_CODES[event.kind]
-            timestamp_ns[i] = event.timestamp_ns
-            block_id[i] = event.block_id
-            size[i] = event.size
-            category_code[i] = CATEGORY_CODES[event.category]
-            iteration[i] = event.iteration
-            device_rank[i] = event.device_rank
-        columns = EventColumns(event_id=event_id, kind_code=kind_code,
-                               timestamp_ns=timestamp_ns, block_id=block_id,
-                               size=size, category_code=category_code,
-                               iteration=iteration, device_rank=device_rank)
+        columns = _columns_from_events(self._events or [])
         self._columns_cache = columns
         return columns
+
+    # -- object view --------------------------------------------------------------------
+
+    @property
+    def events(self) -> List[MemoryEvent]:
+        """The event stream as objects (synthesized lazily for columnar traces)."""
+        if self._events is None:
+            self._events = self._synthesize_events()
+        return self._events
+
+    def _synthesize_events(self) -> List[MemoryEvent]:
+        """Materialize event objects from the column store (back-compat path)."""
+        cols = self._columns_cache
+        if cols is None or len(cols) == 0:
+            return []
+        n = len(cols)
+        tags = self._event_tags if self._event_tags is not None else [""] * n
+        ops = self._event_ops if self._event_ops is not None else [""] * n
+        kinds = [KIND_FROM_CODE[code] for code in cols.kind_code.tolist()]
+        categories = [CATEGORY_FROM_CODE[code] for code in cols.category_code.tolist()]
+        addresses = (cols.address.tolist() if cols.address is not None else [0] * n)
+        return [
+            MemoryEvent(event_id=eid, kind=kind, timestamp_ns=ts, block_id=bid,
+                        address=addr, size=sz, category=cat, tag=tag,
+                        iteration=it, op=op, device_rank=rank)
+            for eid, kind, ts, bid, addr, sz, cat, tag, it, op, rank in zip(
+                cols.event_id.tolist(), kinds, cols.timestamp_ns.tolist(),
+                cols.block_id.tolist(), addresses, cols.size.tolist(),
+                categories, tags, cols.iteration.tolist(), ops,
+                cols.device_rank.tolist())
+        ]
+
+    def event_strings(self) -> Tuple[List[str], List[str]]:
+        """Per-event ``(tags, ops)`` lists, whichever representation is live."""
+        if self._events is not None:
+            return ([event.tag for event in self._events],
+                    [event.op for event in self._events])
+        if self._event_tags is not None and self._event_ops is not None:
+            return list(self._event_tags), list(self._event_ops)
+        n = len(self)
+        return [""] * n, [""] * n
 
     # -- basic accessors ----------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self.events)
+        if self._events is not None:
+            return len(self._events)
+        return len(self._columns_cache) if self._columns_cache is not None else 0
 
     @property
     def is_empty(self) -> bool:
         """Whether no event was recorded."""
-        return not self.events
+        return len(self) == 0
 
     def require_events(self) -> None:
         """Raise :class:`~repro.errors.EmptyTraceError` if the trace is empty."""
@@ -175,15 +328,22 @@ class MemoryTrace:
     @property
     def start_ns(self) -> int:
         """Timestamp of the first event (0 for an empty trace)."""
-        return self.events[0].timestamp_ns if self.events else 0
+        if self.is_empty:
+            return 0
+        if self._events is not None:
+            return self._events[0].timestamp_ns
+        return int(self._columns_cache.timestamp_ns[0])
 
     @property
     def duration_ns(self) -> int:
         """Span from the first event to the recorded end of the run."""
-        if not self.events:
+        if self.is_empty:
             return 0
-        end = max(self.end_ns, self.events[-1].timestamp_ns)
-        return end - self.start_ns
+        if self._events is not None:
+            last = self._events[-1].timestamp_ns
+        else:
+            last = int(self._columns_cache.timestamp_ns[-1])
+        return max(self.end_ns, last) - self.start_ns
 
     def block_behaviors(self) -> List[MemoryEvent]:
         """Only the paper's four block-level behaviors (no segment events)."""
@@ -203,7 +363,7 @@ class MemoryTrace:
 
     def block_ids(self) -> List[int]:
         """Identities of all blocks that appear in the trace (sorted)."""
-        if not self.events:
+        if self.is_empty:
             return []
         ids = self.columns().block_id
         return [int(b) for b in np.unique(ids[ids > 0])]
@@ -225,7 +385,7 @@ class MemoryTrace:
 
     def ranks(self) -> List[int]:
         """Device ranks that appear in the trace (``[0]`` for single-device)."""
-        if not self.events:
+        if self.is_empty:
             return []
         return [int(rank) for rank in np.unique(self.columns().device_rank)]
 
@@ -237,8 +397,25 @@ class MemoryTrace:
         """
         metadata = dict(self.metadata)
         metadata["device_rank"] = int(rank)
+        cols = self.columns()
+        mask = cols.device_rank == rank
+        indices = np.nonzero(mask)[0].tolist()
+        tags, ops = self.event_strings()
+        sliced = EventColumns(
+            event_id=cols.event_id[mask],
+            kind_code=cols.kind_code[mask],
+            timestamp_ns=cols.timestamp_ns[mask],
+            block_id=cols.block_id[mask],
+            size=cols.size[mask],
+            category_code=cols.category_code[mask],
+            iteration=cols.iteration[mask],
+            device_rank=cols.device_rank[mask],
+            address=cols.address[mask] if cols.address is not None else None,
+        )
         return MemoryTrace(
-            events=[event for event in self.events if event.device_rank == rank],
+            columns=sliced,
+            event_tags=[tags[i] for i in indices],
+            event_ops=[ops[i] for i in indices],
             lifetimes=[lifetime for lifetime in self.lifetimes
                        if lifetime.device_rank == rank],
             iteration_marks=list(self.iteration_marks),
@@ -259,7 +436,7 @@ class MemoryTrace:
 
     def counts_by_kind(self) -> Dict[str, int]:
         """Number of events of each kind."""
-        if not self.events:
+        if self.is_empty:
             return {}
         codes, counts = np.unique(self.columns().kind_code, return_counts=True)
         return {KIND_FROM_CODE[int(code)].value: int(count)
@@ -267,7 +444,7 @@ class MemoryTrace:
 
     def counts_by_category(self) -> Dict[str, int]:
         """Number of block-level behaviors per memory category."""
-        if not self.events:
+        if self.is_empty:
             return {}
         cols = self.columns()
         cats = cols.category_code[cols.is_block_behavior]
@@ -277,7 +454,7 @@ class MemoryTrace:
 
     def live_bytes_series(self) -> "tuple[np.ndarray, np.ndarray]":
         """``(timestamps_ns, live_bytes)`` arrays after every malloc/free event."""
-        if not self.events:
+        if self.is_empty:
             return np.array([], dtype=np.int64), np.array([], dtype=np.int64)
         cols = self.columns()
         mask = cols.is_malloc | cols.is_free
@@ -363,7 +540,7 @@ class MemoryTrace:
     def summary(self) -> Dict[str, object]:
         """A compact dictionary summarizing the trace (used by reports and tests)."""
         return {
-            "num_events": len(self.events),
+            "num_events": len(self),
             "num_blocks": len(self.block_ids()),
             "num_iterations": len(self.iteration_marks),
             "duration_ns": self.duration_ns,
@@ -389,6 +566,11 @@ def merge_rank_traces(traces: Sequence[MemoryTrace]) -> MemoryTrace:
 
     A single-trace merge returns the input unchanged (rank 0 is the
     degenerate case), so single-device sessions stay byte-identical.
+
+    The merge is fully columnar: the per-rank column stores are concatenated,
+    block ids shifted and the global ``(timestamp, rank, event_id)`` order
+    computed with one ``np.lexsort`` — no per-event Python objects are built,
+    so merging large multi-replica symbolic traces stays array-speed.
     """
     traces = list(traces)
     if not traces:
@@ -398,25 +580,52 @@ def merge_rank_traces(traces: Sequence[MemoryTrace]) -> MemoryTrace:
 
     from dataclasses import replace as _replace
 
+    per_rank_cols = [trace.columns() for trace in traces]
+
     # Block ids are positive; segment pseudo-ids are negative.  Offset both
     # per rank by the running maximum magnitude so identities never collide.
-    stamped: List[MemoryEvent] = []
     lifetimes: List[BlockLifetime] = []
+    shifted_block_ids: List[np.ndarray] = []
     block_offset = 0
-    for rank, trace in enumerate(traces):
-        magnitudes = [abs(event.block_id) for event in trace.events]
-        for event in trace.events:
-            shifted = (event.block_id + block_offset if event.block_id > 0
-                       else event.block_id - block_offset)
-            stamped.append(_replace(event, block_id=shifted, device_rank=rank))
+    for rank, (trace, cols) in enumerate(zip(traces, per_rank_cols)):
+        block_id = cols.block_id
+        shifted_block_ids.append(
+            np.where(block_id > 0, block_id + block_offset, block_id - block_offset))
         for lifetime in trace.lifetimes:
             lifetimes.append(_replace(lifetime, block_id=lifetime.block_id + block_offset,
                                       device_rank=rank))
-        block_offset += max(magnitudes, default=0)
+        block_offset += int(np.abs(block_id).max()) if len(cols) else 0
 
-    stamped.sort(key=lambda event: (event.timestamp_ns, event.device_rank,
-                                    event.event_id))
-    events = [_replace(event, event_id=index) for index, event in enumerate(stamped)]
+    timestamp_ns = np.concatenate([cols.timestamp_ns for cols in per_rank_cols])
+    rank_col = np.concatenate([np.full(len(cols), rank, dtype=np.int64)
+                               for rank, cols in enumerate(per_rank_cols)])
+    local_event_id = np.concatenate([cols.event_id for cols in per_rank_cols])
+    # Primary key last: order by timestamp, then rank, then rank-local id.
+    order = np.lexsort((local_event_id, rank_col, timestamp_ns))
+
+    def _gather(name: str) -> np.ndarray:
+        return np.concatenate([getattr(cols, name) for cols in per_rank_cols])[order]
+
+    merged_columns = EventColumns(
+        event_id=np.arange(order.size, dtype=np.int64),
+        kind_code=_gather("kind_code"),
+        timestamp_ns=timestamp_ns[order],
+        block_id=np.concatenate(shifted_block_ids)[order],
+        size=_gather("size"),
+        category_code=_gather("category_code"),
+        iteration=_gather("iteration"),
+        device_rank=rank_col[order],
+        address=_gather("address"),
+    )
+    all_tags: List[str] = []
+    all_ops: List[str] = []
+    for trace in traces:
+        tags, ops = trace.event_strings()
+        all_tags.extend(tags)
+        all_ops.extend(ops)
+    order_list = order.tolist()
+    merged_tags = [all_tags[i] for i in order_list]
+    merged_ops = [all_ops[i] for i in order_list]
 
     marks: Dict[int, IterationMark] = {}
     for trace in traces:
@@ -437,7 +646,9 @@ def merge_rank_traces(traces: Sequence[MemoryTrace]) -> MemoryTrace:
     metadata["n_devices"] = len(traces)
     metadata.pop("device_rank", None)
     return MemoryTrace(
-        events=events,
+        columns=merged_columns,
+        event_tags=merged_tags,
+        event_ops=merged_ops,
         lifetimes=lifetimes,
         iteration_marks=[marks[index] for index in sorted(marks)],
         metadata=metadata,

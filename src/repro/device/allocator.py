@@ -26,7 +26,9 @@ event streams for the same workload, which the ablation benchmark
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+import itertools
+from bisect import bisect_left, insort
+from typing import Dict, List, Optional, Tuple
 
 from ..core.events import MemoryCategory
 from ..errors import InvalidFreeError, OutOfMemoryError
@@ -50,6 +52,79 @@ LARGE_SPLIT_REMAINDER = 1 * MIB
 BASE_ADDRESS = 0x7F00_0000_0000
 #: Segments are aligned to this boundary in the simulated address space.
 SEGMENT_ALIGNMENT = 2 * MIB
+
+
+class IndexedFreeList:
+    """Size-ordered index of free blocks with bisect-backed best-fit lookup.
+
+    Replaces the historical unsorted ``List[Block]`` free lists, whose
+    best-fit search and removal were linear scans — the dominant allocator
+    cost once symbolic sweeps made everything else array-speed.  Entries are
+    ``(size, tiebreak)`` keys kept sorted with ``bisect``; membership and the
+    key of a given block are O(1) dict lookups, removal is an O(log n) search
+    plus one C-level list deletion, and best-fit is a single ``bisect_left``.
+
+    The tiebreak among equal-size blocks preserves the exact semantics of the
+    linear scans (so event streams stay bit-identical):
+
+    * ``"fifo"`` — a monotonically increasing insertion sequence.  Equal-size
+      candidates are taken oldest-first, exactly like the old first-match
+      scan over an append-ordered list (:class:`CachingAllocator`).
+    * ``"address"`` — the block's device address.  Equal-size candidates are
+      taken lowest-address-first, exactly like the old address-order scan
+      over the arena's block list (:class:`BestFitAllocator`).
+    """
+
+    def __init__(self, tiebreak: str = "fifo"):
+        if tiebreak not in ("fifo", "address"):
+            raise ValueError(f"unknown tiebreak policy {tiebreak!r}")
+        self._by_address = tiebreak == "address"
+        self._seq = itertools.count()
+        self._keys: List[Tuple[int, int]] = []                  # sorted (size, tiebreak)
+        self._key_by_id: Dict[int, Tuple[int, int]] = {}        # block_id -> key
+        self._block_by_key: Dict[Tuple[int, int], Block] = {}   # key -> block
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __contains__(self, block: "Block") -> bool:
+        return block.block_id in self._key_by_id
+
+    def blocks(self) -> List["Block"]:
+        """The indexed blocks in (size, tiebreak) order."""
+        return [self._block_by_key[key] for key in self._keys]
+
+    def add(self, block: "Block") -> None:
+        """Index a block that just became free."""
+        key = (block.size, block.address if self._by_address else next(self._seq))
+        self._key_by_id[block.block_id] = key
+        self._block_by_key[key] = block
+        insort(self._keys, key)
+
+    def discard(self, block: "Block") -> bool:
+        """Remove a block from the index if present; returns whether it was."""
+        key = self._key_by_id.pop(block.block_id, None)
+        if key is None:
+            return False
+        del self._block_by_key[key]
+        del self._keys[bisect_left(self._keys, key)]
+        return True
+
+    def take_best_fit(self, min_size: int) -> Optional["Block"]:
+        """Remove and return the best-fitting free block of at least ``min_size``.
+
+        Among blocks of the smallest sufficient size, the tiebreak order
+        decides (oldest insertion for ``"fifo"``, lowest address for
+        ``"address"``) — matching the block the historical linear scans
+        would have picked.
+        """
+        index = bisect_left(self._keys, (min_size, -1))
+        if index == len(self._keys):
+            return None
+        key = self._keys.pop(index)
+        block = self._block_by_key.pop(key)
+        del self._key_by_id[block.block_id]
+        return block
 
 
 def round_block_size(size: int) -> int:
@@ -231,9 +306,11 @@ class CachingAllocator(BaseAllocator):
         listener: Optional[MemoryEventListener] = None,
     ):
         super().__init__(spec, clock, listener)
-        # Free blocks per pool, kept unsorted; best-fit scans are cheap at the
-        # block counts DNN training produces (hundreds).
-        self._free_blocks: Dict[str, List[Block]] = {"small": [], "large": []}
+        # Free blocks per pool, indexed by (size, insertion order): best-fit
+        # is one bisect, removal is O(log n) — same blocks the historical
+        # linear scans would have picked, just found without the scan.
+        self._free_blocks: Dict[str, IndexedFreeList] = {
+            "small": IndexedFreeList("fifo"), "large": IndexedFreeList("fifo")}
 
     # -- allocation -------------------------------------------------------------
 
@@ -258,16 +335,8 @@ class CachingAllocator(BaseAllocator):
         return self._publish_alloc(block, requested_size=size, category=category, tag=tag)
 
     def _find_free_block(self, pool: str, rounded: int) -> Optional[Block]:
-        """Best-fit search of the pool's free list; removes and returns the block."""
-        best: Optional[Block] = None
-        for candidate in self._free_blocks[pool]:
-            if candidate.size < rounded:
-                continue
-            if best is None or candidate.size < best.size:
-                best = candidate
-        if best is not None:
-            self._free_blocks[pool].remove(best)
-        return best
+        """Best-fit lookup in the pool's free index; removes and returns the block."""
+        return self._free_blocks[pool].take_best_fit(rounded)
 
     def _allocate_from_new_segment(self, pool: str, rounded: int) -> Block:
         """Reserve a fresh segment and return its (single, free) covering block."""
@@ -307,7 +376,7 @@ class CachingAllocator(BaseAllocator):
             block.next.prev = tail
         block.next = tail
         block.size = rounded
-        self._free_blocks[pool].append(tail)
+        self._free_blocks[pool].add(tail)
         self.stats.split_count += 1
         return block
 
@@ -318,7 +387,7 @@ class CachingAllocator(BaseAllocator):
         self._publish_free(block)
         pool = block.segment.pool
         block = self._coalesce(block, pool)
-        self._free_blocks[pool].append(block)
+        self._free_blocks[pool].add(block)
 
     def _coalesce(self, block: Block, pool: str) -> Block:
         """Merge ``block`` with free neighbours; returns the surviving block.
@@ -348,8 +417,7 @@ class CachingAllocator(BaseAllocator):
         return block
 
     def _remove_from_free_list(self, pool: str, block: Block) -> None:
-        if block in self._free_blocks[pool]:
-            self._free_blocks[pool].remove(block)
+        self._free_blocks[pool].discard(block)
 
     # -- cache management --------------------------------------------------------
 
@@ -389,6 +457,11 @@ class BestFitAllocator(BaseAllocator):
         arena_size = int(spec.memory_capacity * arena_fraction)
         arena_size = (arena_size // SEGMENT_ALIGNMENT) * SEGMENT_ALIGNMENT
         self._arena = self._reserve_segment(arena_size, pool="arena")
+        # Free blocks indexed by (size, address): best-fit is one bisect and
+        # equal sizes resolve lowest-address-first, exactly the block the old
+        # address-order scan over the arena would have returned.
+        self._free_index = IndexedFreeList("address")
+        self._free_index.add(self._arena.first_block)
 
     def allocate(
         self,
@@ -398,12 +471,7 @@ class BestFitAllocator(BaseAllocator):
     ) -> Block:
         rounded = round_block_size(size)
         self.clock.advance(self.spec.allocator_overhead_ns)
-        best: Optional[Block] = None
-        for block in self._arena.blocks():
-            if block.allocated or block.size < rounded:
-                continue
-            if best is None or block.size < best.size:
-                best = block
+        best = self._free_index.take_best_fit(rounded)
         if best is None:
             raise OutOfMemoryError(
                 requested=rounded,
@@ -424,6 +492,7 @@ class BestFitAllocator(BaseAllocator):
                 best.next.prev = tail
             best.next = tail
             best.size = rounded
+            self._free_index.add(tail)
             self.stats.split_count += 1
         return self._publish_alloc(best, requested_size=size, category=category, tag=tag)
 
@@ -432,6 +501,7 @@ class BestFitAllocator(BaseAllocator):
         self._publish_free(block)
         nxt = block.next
         if nxt is not None and not nxt.allocated:
+            self._free_index.discard(nxt)
             block.size += nxt.size
             block.next = nxt.next
             if nxt.next is not None:
@@ -439,11 +509,14 @@ class BestFitAllocator(BaseAllocator):
             self.stats.coalesce_count += 1
         prev = block.prev
         if prev is not None and not prev.allocated:
+            self._free_index.discard(prev)
             prev.size += block.size
             prev.next = block.next
             if block.next is not None:
                 block.next.prev = prev
             self.stats.coalesce_count += 1
+            block = prev
+        self._free_index.add(block)
 
 
 class BumpAllocator(BaseAllocator):

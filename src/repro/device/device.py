@@ -31,7 +31,9 @@ from .stream import Stream
 from .timing import KernelCost, KernelTimingModel
 
 #: Execution modes supported by the tensor library on this device.
-EXECUTION_MODES = ("eager", "virtual")
+#: ``"symbolic"`` runs shape/behavior-only kernels; ``"virtual"`` is the
+#: legacy name of the same mode and stays accepted for back-compat.
+EXECUTION_MODES = ("eager", "symbolic", "virtual")
 
 
 class Device:
@@ -46,10 +48,13 @@ class Device:
         or ``"bump"``).
     execution_mode:
         ``"eager"`` runs every kernel numerically on NumPy buffers (correct
-        values, practical only for small models); ``"virtual"`` skips the
-        arithmetic but performs identical allocations, accesses and timing —
-        memory behavior is shape-dependent, not value-dependent, so traces
-        are the same.
+        values, practical only for small models); ``"symbolic"`` (legacy
+        name ``"virtual"``) skips the arithmetic — tensors carry shape,
+        dtype and category but no data buffer — while performing identical
+        allocations, accesses and timing-model costs.  Memory behavior is
+        shape-dependent, not value-dependent, so the recorded traces are
+        event-identical (the equivalence suite pins this), and symbolic mode
+        is the default for sweeps.
     default_dtype:
         Element type (name or :class:`~repro.tensor.dtype.DType`) used for
         floating-point tensors whose dtype is not given explicitly —
@@ -134,6 +139,11 @@ class Device:
     def is_eager(self) -> bool:
         """Whether kernels actually compute values on NumPy buffers."""
         return self.execution_mode == "eager"
+
+    @property
+    def is_symbolic(self) -> bool:
+        """Whether kernels are shape/behavior-only (``symbolic`` or legacy ``virtual``)."""
+        return self.execution_mode in ("symbolic", "virtual")
 
     def run_kernel(self, cost: KernelCost) -> int:
         """Account for the execution of one kernel; returns its duration in ns."""

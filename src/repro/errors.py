@@ -36,6 +36,11 @@ class OutOfMemoryError(DeviceError):
             f"free {free} bytes)"
         )
 
+    def __reduce__(self):
+        """Pickle via the keyword fields (sweep workers ship OOMs in-band)."""
+        return (OutOfMemoryError,
+                (self.requested, self.free, self.reserved, self.capacity))
+
 
 class InvalidFreeError(DeviceError):
     """Raised when freeing a pointer the allocator does not own."""

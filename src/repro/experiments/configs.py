@@ -35,7 +35,7 @@ PAPER_MLP_HOST_LATENCY = HostLatencyModel(
 
 def paper_mlp_config(batch_size: int = PAPER_MLP_BATCH_SIZE,
                      iterations: int = PAPER_MLP_ITERATIONS,
-                     execution_mode: str = "virtual",
+                     execution_mode: str = "symbolic",
                      seed: int = 0) -> TrainingRunConfig:
     """The workload behind Figures 2-4: the Fig.-1 MLP trained for 5 iterations."""
     return TrainingRunConfig(
@@ -69,7 +69,7 @@ def breakdown_config(model: str, dataset: str, batch_size: int, iterations: int 
                      input_size: Optional[int] = None, num_classes: Optional[int] = None,
                      device_memory_capacity: int = 48 * GIB,
                      seed: int = 0) -> TrainingRunConfig:
-    """A virtual-execution configuration for the occupation-breakdown figures.
+    """A symbolic-execution configuration for the occupation-breakdown figures.
 
     Two iterations are enough: the footprint peaks during the backward pass
     once gradients and optimizer state exist.  The simulated device capacity
@@ -89,7 +89,7 @@ def breakdown_config(model: str, dataset: str, batch_size: int, iterations: int 
         dataset=dataset,
         batch_size=batch_size,
         iterations=iterations,
-        execution_mode="virtual",
+        execution_mode="symbolic",
         device_memory_capacity=device_memory_capacity,
         seed=seed,
         label=f"{model}/{dataset}/batch{batch_size}",

@@ -62,6 +62,7 @@ import itertools
 import json
 import os
 import time
+import weakref
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import asdict, dataclass, field
 from functools import partial
@@ -80,7 +81,9 @@ from ..units import MIB
 #: v2: policies generalized to the baselines registry, dtype axis added.
 #: v3: data-parallel axes (n_devices, interconnect), collective summaries,
 #:     fp32 master weights under half-precision training.
-RESULT_SCHEMA_VERSION = 3
+#: v4: symbolic execution mode is the sweep default (legacy name "virtual"),
+#:     columnar recorder, per-scenario wall time in the summary table.
+RESULT_SCHEMA_VERSION = 4
 
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "REPRO_SWEEP_CACHE"
@@ -182,7 +185,7 @@ class SweepGrid:
     seeds: Sequence[int] = (0,)
     # shared scalars
     dataset: str = "two_cluster"
-    execution_mode: str = "virtual"
+    execution_mode: str = "symbolic"
     model_kwargs: Dict[str, object] = field(default_factory=dict)
     dataset_kwargs: Dict[str, object] = field(default_factory=dict)
     optimizer: str = "sgd"
@@ -291,6 +294,7 @@ class ScenarioResult:
         collective = self.collective or {}
         iterations = max(1, int(self.scenario.get("iterations", 1)))
         row.update({
+            "wall_s": round(self.wall_time_s, 3),
             "peak_alloc_mib": round(self.peak_allocated_bytes / MIB, 2),
             "peak_reserved_mib": round(self.peak_reserved_bytes / MIB, 2),
             "step_time_ms": round(self.step_time_s_mean * 1e3, 3),
@@ -397,6 +401,51 @@ def run_scenario(scenario: Scenario,
     )
 
 
+class _RemoteTraceback(Exception):
+    """Carries a worker's formatted traceback across the process boundary."""
+
+    def __init__(self, formatted: str):
+        self.formatted = formatted
+
+    def __str__(self) -> str:
+        return self.formatted
+
+
+@dataclass
+class _ScenarioFailure:
+    """In-band record of one scenario's failure inside a pool worker."""
+
+    error: Exception
+    traceback: str
+
+    def unwrap(self) -> Exception:
+        """The original exception, chained to the worker's traceback text."""
+        self.error.__cause__ = _RemoteTraceback(f"\n{self.traceback}")
+        return self.error
+
+
+def _run_scenario_chunk(scenarios: List[Scenario],
+                        bandwidths: Optional[BandwidthConfig]):
+    """Pool worker: run several scenarios inside one task submission.
+
+    Chunked submission amortizes the per-task pickling/dispatch overhead of
+    the process pool across many scenarios — at symbolic-mode speeds that
+    overhead is comparable to a small scenario itself.  Per-scenario failures
+    are returned in-band (as a :class:`_ScenarioFailure` carrying the worker
+    traceback) instead of failing the whole chunk, so one bad scenario never
+    discards its chunk-mates' work.
+    """
+    import traceback as traceback_module
+
+    outcomes: List[object] = []
+    for scenario in scenarios:
+        try:
+            outcomes.append(run_scenario(scenario, bandwidths=bandwidths))
+        except Exception as error:  # re-raised by the parent, with traceback
+            outcomes.append(_ScenarioFailure(error, traceback_module.format_exc()))
+    return outcomes
+
+
 # -- the runner -----------------------------------------------------------------------
 
 
@@ -427,7 +476,7 @@ class SweepResult:
                        "swap_policy", "device_spec", "dtype", "n_devices",
                        "interconnect", "peak_alloc_mib", "step_time_ms",
                        "allreduce_ms", "ati_p50_us", "ati_p90_us", "swappable_frac",
-                       "swap_savings_mib", "cached"]
+                       "swap_savings_mib", "wall_s", "cached"]
             columns = [c for c in columns if c in rows[0]]
         return render_table(rows, columns=columns)
 
@@ -464,15 +513,68 @@ class SweepRunner:
     bandwidths:
         Explicit Eq.-1 bandwidth override for every scenario; ``None`` (the
         default) derives the bandwidths from each scenario's device spec.
+    chunk_size:
+        Scenarios submitted to a pool worker per task; ``None`` picks a size
+        that gives every worker a few chunks (load balancing) while keeping
+        the per-task dispatch overhead amortized.
+
+    The worker pool is created lazily on the first parallel :meth:`run` and
+    *reused across runs* — repeated sweeps (the report generator issues
+    several) never pay the process-spawn cost twice.  Call :meth:`close` (or
+    use the runner as a context manager) to shut the pool down eagerly.
     """
 
     def __init__(self, cache_dir: Optional[Union[str, Path]] = None, workers: int = 1,
                  use_cache: bool = True,
-                 bandwidths: Optional[BandwidthConfig] = None):
+                 bandwidths: Optional[BandwidthConfig] = None,
+                 chunk_size: Optional[int] = None):
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.workers = max(1, int(workers))
         self.use_cache = bool(use_cache)
         self.bandwidths = bandwidths
+        self.chunk_size = chunk_size
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    # -- worker pool ------------------------------------------------------------------
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        """The reusable worker pool (spawned on first use).
+
+        A ``weakref.finalize`` safety net shuts the pool down when the
+        runner is garbage-collected, so callers that never call
+        :meth:`close` (the pre-context-manager API) do not leak worker
+        processes for the rest of the interpreter's lifetime.
+        """
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            self._pool_finalizer = weakref.finalize(
+                self, ProcessPoolExecutor.shutdown, self._pool, wait=False)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the reusable worker pool (idempotent)."""
+        if self._pool is not None:
+            finalizer = getattr(self, "_pool_finalizer", None)
+            if finalizer is not None:
+                finalizer.detach()
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "SweepRunner":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    def _chunks(self, missing: List[Tuple[int, "Scenario"]]) -> List[List[Tuple[int, "Scenario"]]]:
+        """Split the uncached scenarios into per-task chunks (expansion order)."""
+        if self.chunk_size is not None:
+            size = max(1, int(self.chunk_size))
+        else:
+            # Aim for ~4 chunks per worker so stragglers rebalance, but never
+            # less than one scenario per task.
+            size = max(1, -(-len(missing) // (self.workers * 4)))
+        return [missing[i:i + size] for i in range(0, len(missing), size)]
 
     # -- cache ------------------------------------------------------------------------
 
@@ -543,25 +645,39 @@ class SweepRunner:
                 missing.append((index, scenario))
 
         if missing:
-            # Each result is cached the moment it completes, so one failing
-            # scenario (raised after the loop drains) never discards the work
-            # of the scenarios that already finished.
-            worker = partial(run_scenario, bandwidths=self.bandwidths)
+            # Each result is cached the moment its chunk completes, so one
+            # failing scenario (raised after the loop drains) never discards
+            # the work of the scenarios that already finished.
             failure: Optional[Exception] = None
             if self.workers > 1 and len(missing) > 1:
-                with ProcessPoolExecutor(max_workers=self.workers) as pool:
-                    futures = {pool.submit(worker, scenario): (index, scenario)
-                               for index, scenario in missing}
-                    for future in as_completed(futures):
-                        index, scenario = futures[future]
-                        try:
-                            result = future.result()
-                        except Exception as error:  # re-raised after the loop drains
-                            failure = failure or error
+                pool = self._ensure_pool()
+                futures = {
+                    pool.submit(_run_scenario_chunk,
+                                [scenario for _, scenario in chunk],
+                                self.bandwidths): chunk
+                    for chunk in self._chunks(missing)
+                }
+                pool_broken = False
+                for future in as_completed(futures):
+                    chunk = futures[future]
+                    try:
+                        outcomes = future.result()
+                    except Exception as error:  # pool-level failure (worker died)
+                        failure = failure or error
+                        pool_broken = True
+                        continue
+                    for (index, scenario), outcome in zip(chunk, outcomes):
+                        if isinstance(outcome, _ScenarioFailure):
+                            failure = failure or outcome.unwrap()
                             continue
-                        results[index] = result
-                        self.cache_store(scenario, result)
+                        results[index] = outcome
+                        self.cache_store(scenario, outcome)
+                if pool_broken:
+                    # Dispose of the (likely broken) executor so the next
+                    # run() starts from a fresh pool instead of failing fast.
+                    self.close()
             else:
+                worker = partial(run_scenario, bandwidths=self.bandwidths)
                 for index, scenario in missing:
                     try:
                         result = worker(scenario)
@@ -583,6 +699,12 @@ class SweepRunner:
 
 def run_sweep(grid: SweepGrid, cache_dir: Optional[Union[str, Path]] = None,
               workers: int = 1, use_cache: bool = True) -> SweepResult:
-    """Convenience wrapper: expand ``grid`` and run it with a :class:`SweepRunner`."""
-    runner = SweepRunner(cache_dir=cache_dir, workers=workers, use_cache=use_cache)
-    return runner.run(grid)
+    """Convenience wrapper: expand ``grid`` and run it with a :class:`SweepRunner`.
+
+    The runner (and its worker pool, if one was spawned) is shut down before
+    returning; hold a :class:`SweepRunner` yourself to reuse workers across
+    several sweeps.
+    """
+    with SweepRunner(cache_dir=cache_dir, workers=workers,
+                     use_cache=use_cache) as runner:
+        return runner.run(grid)

@@ -455,7 +455,7 @@ def scaling_grid(profile: ReportProfile) -> SweepGrid:
         n_devices=profile.scaling_n_devices,
         interconnects=profile.scaling_interconnects,
         host_latency=PAPER_MLP_HOST_LATENCY,
-        execution_mode="virtual",
+        execution_mode="symbolic",
     )
 
 
@@ -609,7 +609,7 @@ def comparison_grid(profile: ReportProfile) -> SweepGrid:
         device_specs=profile.comparison_devices,
         swap_policies=profile.comparison_policies,
         host_latency=PAPER_MLP_HOST_LATENCY,
-        execution_mode="virtual",
+        execution_mode="symbolic",
     )
 
 

@@ -20,7 +20,7 @@ from ..device.timing import KernelCost, conv2d_cost, elementwise_cost
 from ..errors import ShapeError
 from ..units import MIB
 from .dtype import float32
-from .functional import launch
+from .functional import gemm, launch
 from .im2col import (
     col2im,
     conv_output_hw,
@@ -82,7 +82,7 @@ def conv2d_forward(x: Tensor, weight: Tensor, bias: Optional[Tensor],
     def compute() -> np.ndarray:
         cols = im2col(x.numpy(), kernel_h, kernel_w, stride, padding)
         flat_weight = weight.numpy().reshape(out_channels, -1)
-        result = cols @ flat_weight.T
+        result = gemm(cols, flat_weight.T)
         if bias is not None:
             result = result + bias.numpy()[None, :]
         result = result.reshape(batch, out_h, out_w, out_channels).transpose(0, 3, 1, 2)
@@ -117,7 +117,7 @@ def conv2d_backward_input(grad_output: Tensor, weight: Tensor,
     def compute() -> np.ndarray:
         flat_weight = weight.numpy().reshape(out_channels, -1)
         grad_cols = grad_output.numpy().transpose(0, 2, 3, 1).reshape(-1, out_channels)
-        cols = grad_cols @ flat_weight
+        cols = gemm(grad_cols, flat_weight)
         return col2im(cols, x_shape, kernel_h, kernel_w, stride, padding)
 
     launch(device, "conv2d_backward_input", cost, inputs, grad_input, compute=compute)
@@ -147,7 +147,7 @@ def conv2d_backward_params(x: Tensor, grad_output: Tensor, grad_weight: Tensor,
     def compute_weight() -> np.ndarray:
         cols = im2col(x.numpy(), kernel_h, kernel_w, stride, padding)
         grad_cols = grad_output.numpy().transpose(0, 2, 3, 1).reshape(-1, out_channels)
-        grad_w = (grad_cols.T @ cols).reshape(grad_weight.shape)
+        grad_w = gemm(grad_cols.T, cols).reshape(grad_weight.shape)
         return grad_weight.numpy() + grad_w
 
     launch(device, "conv2d_backward_weight", cost, inputs, grad_weight, compute=compute_weight)

@@ -27,6 +27,20 @@ from .dtype import float32
 from .tensor import Tensor, empty
 
 
+def gemm(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Matrix product with fp32 accumulation for half-precision operands.
+
+    NumPy has no BLAS path for ``float16`` matmul (it falls back to a scalar
+    loop, orders of magnitude slower), and real mixed-precision GEMMs
+    accumulate in fp32 anyway — so half inputs are upcast for the product.
+    The caller's :func:`launch` casts the result back to the output dtype.
+    """
+    if a.dtype == np.float16 or b.dtype == np.float16:
+        return np.matmul(a.astype(np.float32, copy=False),
+                         b.astype(np.float32, copy=False))
+    return np.matmul(a, b)
+
+
 def launch(
     device: Device,
     op_name: str,
@@ -71,7 +85,7 @@ def matmul(a: Tensor, b: Tensor, category: MemoryCategory = MemoryCategory.ACTIV
     out = empty(device, (m, n), dtype=a.dtype, category=category, tag=tag or "matmul_out")
     cost = matmul_cost(m, k, n, itemsize=a.dtype.itemsize, name=op_name)
     return launch(device, op_name, cost, [a, b], out,
-                  compute=lambda: a.numpy() @ b.numpy())
+                  compute=lambda: gemm(a.numpy(), b.numpy()))
 
 
 def linear_forward(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
@@ -87,7 +101,7 @@ def linear_forward(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
     inputs = [x, weight] + ([bias] if bias is not None else [])
 
     def compute() -> np.ndarray:
-        result = x.numpy() @ weight.numpy()
+        result = gemm(x.numpy(), weight.numpy())
         if bias is not None:
             result = result + bias.numpy()[None, :]
         return result
@@ -106,7 +120,7 @@ def linear_backward_input(grad_output: Tensor, weight: Tensor,
     cost = matmul_cost(m, n, k, itemsize=grad_output.dtype.itemsize,
                        name="linear_backward_input")
     return launch(device, "linear_backward_input", cost, [grad_output, weight], out,
-                  compute=lambda: grad_output.numpy() @ weight.numpy().T)
+                  compute=lambda: gemm(grad_output.numpy(), weight.numpy().T))
 
 
 def linear_backward_params(x: Tensor, grad_output: Tensor, grad_weight: Tensor,
@@ -122,7 +136,7 @@ def linear_backward_params(x: Tensor, grad_output: Tensor, grad_weight: Tensor,
     cost = matmul_cost(k, m, n, itemsize=x.dtype.itemsize, name="linear_backward_weight")
 
     def compute_weight() -> np.ndarray:
-        return grad_weight.numpy() + x.numpy().T @ grad_output.numpy()
+        return grad_weight.numpy() + gemm(x.numpy().T, grad_output.numpy())
 
     launch(device, "linear_backward_weight", cost, [x, grad_output, grad_weight],
            grad_weight, compute=compute_weight)
@@ -309,7 +323,9 @@ def cross_entropy_forward(logits: Tensor, labels: Tensor) -> Tuple[Tensor, Tenso
         probabilities = probs.numpy()
         targets = labels.numpy().astype(np.int64).reshape(-1)
         batch = probabilities.shape[0]
-        picked = probabilities[np.arange(batch), targets]
+        # Upcast before clipping: in float16 the 1e-12 floor underflows to 0
+        # and log(0) would leak -inf into the loss.
+        picked = probabilities[np.arange(batch), targets].astype(np.float64)
         return np.array([-np.log(np.clip(picked, 1e-12, None)).mean()], dtype=np.float32)
 
     launch(device, "cross_entropy_forward", cost, [probs, labels], loss, compute=compute)

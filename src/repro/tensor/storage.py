@@ -6,8 +6,9 @@ a ``free``, and every kernel that touches the storage reports a ``read`` or
 ``write`` — the four memory behaviors the paper records.
 
 In *eager* execution the storage also owns a NumPy buffer holding the actual
-values; in *virtual* execution the buffer is omitted and only the memory
-behavior (allocation, accesses, timing) is simulated.
+values; in *symbolic* execution (legacy name: *virtual*) the buffer is
+omitted and only the memory behavior (allocation, accesses, timing) is
+simulated.
 """
 
 from __future__ import annotations
@@ -106,8 +107,9 @@ class DeviceStorage:
         self._ensure_live()
         if self._buffer is None:
             raise MaterializationError(
-                f"storage {self.tag!r} is virtual (execution_mode='virtual'); "
-                "numeric values are not available"
+                f"storage {self.tag!r} is symbolic (execution_mode="
+                f"{self.device.execution_mode!r}); numeric values are not "
+                "available — rerun with execution_mode='eager'"
             )
         return self._buffer
 
@@ -124,7 +126,7 @@ class DeviceStorage:
         self._buffer = flat.copy()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
-        state = "freed" if self.is_freed else ("eager" if self.is_materialized else "virtual")
+        state = "freed" if self.is_freed else ("eager" if self.is_materialized else "symbolic")
         return (
             f"DeviceStorage(numel={self.numel}, dtype={self.dtype.name}, "
             f"category={self.category.value}, tag={self.tag!r}, {state})"

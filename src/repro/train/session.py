@@ -104,7 +104,7 @@ class SessionResult:
         return self.config.label or self.config.describe()
 
     def losses(self) -> List[Optional[float]]:
-        """Loss per iteration (``None`` entries in virtual execution)."""
+        """Loss per iteration (``None`` entries in symbolic execution)."""
         return [stats.loss for stats in self.iteration_stats]
 
 

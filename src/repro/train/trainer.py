@@ -92,7 +92,7 @@ def _replica_readback_release(device: Device, loss: Tensor, inputs: Tensor,
                               labels: Tensor, post_iteration_host_ns: int):
     """One replica's loss readback (D2H), tensor releases and host bookkeeping.
 
-    Returns the host-side loss value (``None`` in virtual execution).
+    Returns the host-side loss value (``None`` in symbolic execution).
     """
     loss_values = loss.copy_to_host(tag="loss_readback")
     loss_value = float(loss_values[0]) if loss_values is not None else None
@@ -166,7 +166,7 @@ class Trainer:
     # -- reporting ---------------------------------------------------------------------
 
     def losses(self) -> List[Optional[float]]:
-        """Loss of every completed iteration (``None`` in virtual mode)."""
+        """Loss of every completed iteration (``None`` in symbolic mode)."""
         return [stats.loss for stats in self.history]
 
     def mean_iteration_time_ns(self) -> float:
@@ -346,7 +346,7 @@ class DataParallelTrainer:
     # -- reporting ---------------------------------------------------------------------
 
     def losses(self) -> List[Optional[float]]:
-        """Mean replica loss of every completed iteration (None in virtual mode)."""
+        """Mean replica loss of every completed iteration (None in symbolic mode)."""
         return [stats.loss for stats in self.history]
 
     def mean_iteration_time_ns(self) -> float:

@@ -206,3 +206,64 @@ def test_random_alloc_free_sequences_preserve_invariants(sizes, data):
         allocator.free(block)
     allocator.check_invariants()
     assert allocator.allocated_bytes == 0
+
+
+# -- the indexed free list (PR 4) ---------------------------------------------------
+
+
+def test_indexed_free_list_fifo_tiebreak_matches_linear_scan_order():
+    from repro.device.allocator import IndexedFreeList
+    from repro.device.memory import Block, Segment
+
+    segment = Segment(address=0x1000, size=8192, pool="small")
+    blocks = [Block(segment=segment, address=0x1000 + i * 1024, size=1024)
+              for i in range(4)]
+    index = IndexedFreeList("fifo")
+    for block in blocks:
+        index.add(block)
+    # Equal sizes: oldest insertion wins, exactly like the old first-match scan.
+    assert index.take_best_fit(512) is blocks[0]
+    assert index.take_best_fit(1024) is blocks[1]
+    assert len(index) == 2 and blocks[2] in index
+
+
+def test_indexed_free_list_address_tiebreak_and_best_fit():
+    from repro.device.allocator import IndexedFreeList
+    from repro.device.memory import Block, Segment
+
+    segment = Segment(address=0x1000, size=1 << 20, pool="arena")
+    small_hi = Block(segment=segment, address=0x9000, size=2048)
+    small_lo = Block(segment=segment, address=0x3000, size=2048)
+    large = Block(segment=segment, address=0x1000, size=8192)
+    index = IndexedFreeList("address")
+    for block in (small_hi, small_lo, large):
+        index.add(block)
+    # Best fit picks the smallest sufficient size; ties go to the lower address.
+    assert index.take_best_fit(1024) is small_lo
+    assert index.take_best_fit(4096) is large
+    assert index.take_best_fit(4096) is None
+
+
+def test_indexed_free_list_discard_is_exact():
+    from repro.device.allocator import IndexedFreeList
+    from repro.device.memory import Block, Segment
+
+    segment = Segment(address=0x1000, size=8192, pool="small")
+    a = Block(segment=segment, address=0x1000, size=1024)
+    b = Block(segment=segment, address=0x1400, size=1024)
+    index = IndexedFreeList("fifo")
+    index.add(a)
+    index.add(b)
+    assert index.discard(a) is True
+    assert index.discard(a) is False       # idempotent
+    assert a not in index and b in index
+    assert index.take_best_fit(1024) is b
+
+
+def test_indexed_free_list_rejects_unknown_tiebreak():
+    import pytest as _pytest
+
+    from repro.device.allocator import IndexedFreeList
+
+    with _pytest.raises(ValueError):
+        IndexedFreeList("lifo")

@@ -149,3 +149,51 @@ def test_category_paper_bucket_mapping():
     assert MemoryCategory.ACTIVATION.paper_bucket() == "intermediate results"
     assert MemoryCategory.PARAMETER_GRADIENT.paper_bucket() == "intermediate results"
     assert MemoryCategory.WORKSPACE.paper_bucket() == "intermediate results"
+
+
+# -- columnar-first recording (PR 4) ------------------------------------------------
+
+
+def test_recorder_log_is_columnar_and_events_synthesize_lazily(test_device):
+    recorder = record_some_activity(test_device)
+    trace = recorder.to_trace()
+    # The column store is available without ever materializing event objects.
+    cols = trace.columns()
+    assert len(cols) == len(trace) == len(recorder)
+    assert cols.address is not None and cols.address.shape == cols.size.shape
+    # Lazy synthesis produces full-fidelity objects (tags, ops, addresses).
+    events = trace.events
+    assert len(events) == len(cols)
+    assert [e.event_id for e in events] == cols.event_id.tolist()
+    assert {e.tag for e in events if e.kind is MemoryEventKind.MALLOC} == {"a", "b", "matmul_out"}
+    assert any(e.op == "matmul" for e in events)
+    assert [e.address for e in events] == cols.address.tolist()
+
+
+def test_columnar_trace_json_round_trip(tmp_path, test_device):
+    recorder = record_some_activity(test_device)
+    trace = recorder.to_trace()
+    loaded = MemoryTrace.load_json(trace.save_json(tmp_path / "columnar.json"))
+    assert [e.to_dict() for e in loaded.events] == [e.to_dict() for e in trace.events]
+    assert loaded.peak_live_bytes() == trace.peak_live_bytes()
+
+
+def test_columnar_trace_event_strings_match_objects(test_device):
+    recorder = record_some_activity(test_device)
+    trace = recorder.to_trace()
+    tags, ops = trace.event_strings()
+    assert tags == [e.tag for e in trace.events]
+    assert ops == [e.op for e in trace.events]
+
+
+def test_midrun_trace_snapshots_are_independent(test_device):
+    recorder = TraceRecorder(test_device.clock)
+    test_device.add_listener(recorder)
+    randn(test_device, (4,))
+    early = recorder.to_trace()
+    early_len = len(early)
+    randn(test_device, (4,))
+    late = recorder.to_trace()
+    assert len(early) == early_len          # earlier snapshot unaffected
+    assert len(late) > early_len
+    test_device.remove_listener(recorder)

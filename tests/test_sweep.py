@@ -231,7 +231,8 @@ def test_clear_cache_removes_entries(tmp_path):
 def test_parallel_run_matches_serial_run(tmp_path):
     grid = tiny_grid(batch_sizes=(16, 24, 32, 48))
     serial = SweepRunner(workers=1).run(grid)
-    parallel = SweepRunner(workers=2).run(grid)
+    with SweepRunner(workers=2) as runner:
+        parallel = runner.run(grid)
 
     def comparable(sweep):
         rows = []
@@ -365,3 +366,63 @@ def test_cli_sweep_rejects_unknown_dtype(capsys):
     assert cli_main(["sweep", "--models", "mlp", "--dtypes", "float8"]) == 2
     err = capsys.readouterr().err
     assert "--dtypes" in err and "choose from" in err
+
+
+def test_parallel_failure_keeps_chunkmates_and_reraises(tmp_path):
+    """A failing scenario inside a chunk neither hides the error nor
+    discards the results of scenarios that shared its pool task."""
+    from repro.errors import ReproError
+
+    cache_dir = tmp_path / "sweeps"
+    good = tiny_grid(batch_sizes=(16, 24, 32)).expand()
+    bad = Scenario(config=TrainingRunConfig(model="lenet5", dataset="two_cluster",
+                                            batch_size=16, iterations=2,
+                                            execution_mode="symbolic"))
+    with SweepRunner(cache_dir=cache_dir, workers=2, chunk_size=2) as runner:
+        with pytest.raises(ReproError):
+            runner.run(good + [bad])
+        rerun = runner.run(good)
+    assert (rerun.cache_hits, rerun.cache_misses) == (3, 0)
+
+
+def test_runner_pool_is_reused_across_runs():
+    """The worker pool persists between run() calls (no per-sweep respawn)."""
+    with SweepRunner(workers=2) as runner:
+        runner.run(tiny_grid(batch_sizes=(16, 24)))
+        first_pool = runner._pool
+        assert first_pool is not None
+        runner.run(tiny_grid(batch_sizes=(32, 48)))
+        assert runner._pool is first_pool
+    assert runner._pool is None            # close() shut it down
+
+
+def test_chunking_covers_every_scenario_exactly_once():
+    runner = SweepRunner(workers=3, chunk_size=None)
+    missing = [(index, None) for index in range(10)]
+    chunks = runner._chunks(missing)
+    flattened = [entry for chunk in chunks for entry in chunk]
+    assert flattened == missing
+    explicit = SweepRunner(workers=3, chunk_size=4)._chunks(missing)
+    assert [len(chunk) for chunk in explicit] == [4, 4, 2]
+
+
+def test_rows_report_per_scenario_wall_time():
+    sweep = SweepRunner(workers=1).run(tiny_grid(batch_sizes=(16,)))
+    row = sweep.rows()[0]
+    assert "wall_s" in row and row["wall_s"] >= 0.0
+    assert "wall_s" in sweep.summary_table().splitlines()[0]
+
+
+def test_parallel_failure_carries_worker_traceback(tmp_path):
+    """In-band worker failures re-raise with the remote traceback chained."""
+    from repro.errors import ReproError
+
+    good = tiny_grid(batch_sizes=(16, 24)).expand()
+    bad = Scenario(config=TrainingRunConfig(model="lenet5", dataset="two_cluster",
+                                            batch_size=16, iterations=2,
+                                            execution_mode="symbolic"))
+    with SweepRunner(workers=2, chunk_size=1) as runner:
+        with pytest.raises(ReproError) as caught:
+            runner.run(good + [bad])
+    assert caught.value.__cause__ is not None
+    assert "run_scenario" in str(caught.value.__cause__)

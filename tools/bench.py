@@ -1,0 +1,210 @@
+#!/usr/bin/env python
+"""Benchmark harness: record the sweep-throughput trajectory.
+
+Runs a fixed *reference grid* of profiled training scenarios in one or both
+execution modes and writes a ``BENCH_sweep.json`` report with, per mode:
+
+* ``wall_s`` — wall-clock time for the whole grid (caching disabled),
+* ``scenarios_per_s`` — sweep throughput, the headline number,
+* ``events_per_s`` — recorded memory behaviors per second,
+* ``peak_rss_bytes`` — the mode's process peak resident set size,
+* per-scenario wall times.
+
+When both modes run, the report also contains the symbolic-over-eager
+``speedup`` block — the number the acceptance bar of the symbolic-execution
+work tracks (``>= 5x`` scenarios/sec on the reference grid).
+
+Each mode executes in its own child process so that peak-RSS measurements do
+not bleed across modes (``ru_maxrss`` is a process-lifetime high-water mark)
+and so that every mode pays the same interpreter/import cost.
+
+Usage::
+
+    python tools/bench.py                       # both modes, quick grid
+    python tools/bench.py --grid full           # adds conv models
+    python tools/bench.py --modes symbolic      # symbolic only (CI smoke)
+    python tools/bench.py --budget-s 300        # fail if the run exceeds it
+
+``make bench`` runs the default configuration and leaves ``BENCH_sweep.json``
+at the repository root; see ``docs/performance.md`` for how to read it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import resource
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+#: Bump when the report layout changes.
+BENCH_SCHEMA_VERSION = 1
+
+#: The reference grids.  Each entry is a list of SweepGrid keyword sets; the
+#: union of their expansions is the grid (models with different input data
+#: need different datasets, which a single SweepGrid cannot express).
+REFERENCE_GRIDS = {
+    "quick": [
+        dict(models=("mlp",), batch_sizes=(32, 64, 128, 256), iterations=(2,),
+             dataset="two_cluster"),
+        dict(models=("lenet5",), batch_sizes=(16, 32), iterations=(2,),
+             dataset="mnist"),
+    ],
+    "full": [
+        dict(models=("mlp",), batch_sizes=(32, 64, 128, 256), iterations=(2,),
+             dataset="two_cluster"),
+        dict(models=("lenet5",), batch_sizes=(16, 32), iterations=(2,),
+             dataset="mnist"),
+        dict(models=("alexnet", "resnet18"), batch_sizes=(8,), iterations=(2,),
+             dataset="cifar10", model_kwargs={"input_size": 32, "num_classes": 10}),
+    ],
+}
+
+
+def reference_scenarios(grid_name: str, execution_mode: str):
+    """Expand the named reference grid for one execution mode."""
+    from repro.experiments.sweep import SweepGrid
+
+    scenarios = []
+    for kwargs in REFERENCE_GRIDS[grid_name]:
+        scenarios.extend(
+            SweepGrid(execution_mode=execution_mode, **kwargs).expand())
+    return scenarios
+
+
+def run_mode(grid_name: str, execution_mode: str, workers: int) -> dict:
+    """Run the reference grid in one mode (no caching) and measure it."""
+    from repro.experiments.sweep import SweepRunner
+
+    scenarios = reference_scenarios(grid_name, execution_mode)
+    with SweepRunner(cache_dir=None, workers=workers, use_cache=False) as runner:
+        started = time.perf_counter()
+        sweep = runner.run(scenarios)
+        wall_s = time.perf_counter() - started
+    total_events = sum(result.num_events for result in sweep.results)
+    # ru_maxrss is KiB on Linux but bytes on macOS.  With --workers > 1 the
+    # scenarios execute in pool children, so take the max over self/children.
+    rss_unit = 1 if sys.platform == "darwin" else 1024
+    peak_rss_bytes = rss_unit * max(
+        resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss)
+    return {
+        "execution_mode": execution_mode,
+        "scenarios": len(sweep.results),
+        "wall_s": round(wall_s, 4),
+        "scenarios_per_s": round(len(sweep.results) / wall_s, 3),
+        "events_total": total_events,
+        "events_per_s": round(total_events / wall_s, 1),
+        "peak_rss_bytes": peak_rss_bytes,
+        "per_scenario": [
+            {"model": result.scenario["model"],
+             "batch_size": result.scenario["batch_size"],
+             "wall_s": round(result.wall_time_s, 4),
+             "num_events": result.num_events}
+            for result in sweep.results
+        ],
+    }
+
+
+def _child(args: argparse.Namespace) -> int:
+    """Child entry point: run one mode, print its JSON block on stdout."""
+    report = run_mode(args.grid, args.run_one, args.workers)
+    json.dump(report, sys.stdout)
+    return 0
+
+
+def _spawn_mode(grid_name: str, execution_mode: str, workers: int) -> dict:
+    """Run one mode in a fresh child process and parse its JSON report."""
+    command = [sys.executable, str(Path(__file__).resolve()),
+               "--grid", grid_name, "--workers", str(workers),
+               "--run-one", execution_mode]
+    completed = subprocess.run(command, capture_output=True, text=True)
+    if completed.returncode != 0:
+        raise RuntimeError(
+            f"bench child for mode '{execution_mode}' failed:\n{completed.stderr}")
+    return json.loads(completed.stdout)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--grid", default="quick", choices=sorted(REFERENCE_GRIDS),
+                        help="reference grid to run (default: quick)")
+    parser.add_argument("--modes", default="eager,symbolic",
+                        help="comma-separated execution modes to measure")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="sweep worker processes per mode (default: 1)")
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_sweep.json"),
+                        help="output JSON path (default: BENCH_sweep.json)")
+    parser.add_argument("--budget-s", type=float, default=None,
+                        help="fail (exit 1) if the whole run exceeds this many "
+                             "wall-clock seconds")
+    parser.add_argument("--run-one", default=None, metavar="MODE",
+                        help=argparse.SUPPRESS)  # internal: child process mode
+    args = parser.parse_args(argv)
+
+    if args.run_one:
+        return _child(args)
+
+    modes = [mode.strip() for mode in args.modes.split(",") if mode.strip()]
+    for mode in modes:
+        if mode not in ("eager", "symbolic", "virtual"):
+            parser.error(f"unknown execution mode '{mode}'")
+
+    started = time.perf_counter()
+    mode_reports = {}
+    for mode in modes:
+        print(f"benchmarking {args.grid} grid in {mode} mode ...", flush=True)
+        mode_reports[mode] = _spawn_mode(args.grid, mode, args.workers)
+        print(f"  {mode}: {mode_reports[mode]['scenarios_per_s']} scenarios/s, "
+              f"{mode_reports[mode]['events_per_s']} events/s, "
+              f"peak RSS {mode_reports[mode]['peak_rss_bytes'] / 2**20:.1f} MiB")
+    total_wall_s = time.perf_counter() - started
+
+    report = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "created_unix": int(time.time()),
+        "grid": args.grid,
+        "workers": args.workers,
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpu_count": __import__("os").cpu_count(),
+        },
+        "modes": mode_reports,
+        "total_wall_s": round(total_wall_s, 2),
+    }
+    if "eager" in mode_reports and "symbolic" in mode_reports:
+        eager = mode_reports["eager"]
+        symbolic = mode_reports["symbolic"]
+        report["speedup"] = {
+            "scenarios_per_s": round(
+                symbolic["scenarios_per_s"] / eager["scenarios_per_s"], 2),
+            "events_per_s": round(
+                symbolic["events_per_s"] / eager["events_per_s"], 2),
+            "peak_rss_ratio": round(
+                symbolic["peak_rss_bytes"] / eager["peak_rss_bytes"], 3),
+        }
+        print(f"symbolic/eager speedup: "
+              f"{report['speedup']['scenarios_per_s']}x scenarios/s")
+
+    out = Path(args.out)
+    out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {out}")
+
+    if args.budget_s is not None and total_wall_s > args.budget_s:
+        print(f"error: bench took {total_wall_s:.1f}s, over the "
+              f"{args.budget_s:.0f}s budget", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
