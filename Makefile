@@ -1,20 +1,22 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test bench bench-smoke bench-suite report docs-check sweep-smoke sweep-scaling clean-cache
+.PHONY: test bench bench-smoke bench-suite report docs-check sweep-smoke sweep-scaling swap-smoke clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 # Record the sweep-throughput trajectory: run the reference grid in both
-# execution modes and write BENCH_sweep.json (see docs/performance.md).
+# execution modes plus the swap-execution row and write BENCH_sweep.json
+# (see docs/performance.md).
 bench:
-	$(PYTHON) tools/bench.py --grid full
+	$(PYTHON) tools/bench.py --grid full --modes eager,symbolic,symbolic+swap
 
-# Fast symbolic-only benchmark with a wall-clock budget (the CI smoke job).
+# Fast symbolic-only benchmark with a wall-clock budget (the CI smoke job);
+# includes the swap-execution throughput row.
 bench-smoke:
-	$(PYTHON) tools/bench.py --grid quick --modes symbolic --budget-s 300 \
-		--out BENCH_smoke.json
+	$(PYTHON) tools/bench.py --grid quick --modes symbolic,symbolic+swap \
+		--budget-s 300 --out BENCH_smoke.json
 
 # The qualitative paper-claim benchmark suite (pytest-based, seconds-scale).
 bench-suite:
@@ -30,6 +32,12 @@ docs-check:
 sweep-smoke:
 	$(PYTHON) -m repro sweep --models mlp --batch-sizes 16,32 \
 		--allocators caching,bump --dry-run
+
+# Tiny closed-loop swap-execution sweep (the CI swap-smoke leg): runs the
+# engine under every executable policy and prints measured vs predicted.
+swap-smoke:
+	$(PYTHON) -m repro sweep --models mlp --batch-sizes 512 --iterations 5 \
+		--swap off,planner,swap_advisor,zero_offload,lru --no-cache
 
 # Run the data-parallel scaling grid and regenerate the scaling report page
 # (docs/figures/scaling.md + its SVGs) from the cached results.

@@ -16,6 +16,10 @@ The package is organised as the paper's system is:
 * :mod:`repro.baselines` — swapping/recomputation/compression baselines
   behind the pluggable :class:`~repro.baselines.policy.MemoryPolicy`
   registry (the sweep's policy axis);
+* :mod:`repro.swap` — the closed-loop swap-execution engine: runs
+  eviction/prefetch plans on the device's copy stream during simulation,
+  emits ``swap_out``/``swap_in`` trace events and measures real stalls
+  (the sweep's ``--swap`` axis);
 * :mod:`repro.report` — regenerates EXPERIMENTS.md and the ``docs/figures/``
   pages from cached sweep results (``repro report`` / ``repro report
   --check``).
@@ -40,6 +44,7 @@ from .core import (
 )
 from .device import Device, DeviceSpec, get_device_spec, titan_x_pascal
 from .errors import ReproError
+from .swap import SwapExecutor
 from .train import SessionResult, Trainer, TrainingRunConfig, run_training_session
 from .version import __version__
 
@@ -53,6 +58,7 @@ __all__ = [
     "MemoryTrace",
     "ReproError",
     "SessionResult",
+    "SwapExecutor",
     "SwapPlanner",
     "TraceRecorder",
     "Trainer",

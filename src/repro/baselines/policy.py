@@ -43,6 +43,25 @@ class MemoryPolicy(ABC):
     #: Registry name of the policy (set by subclasses).
     name: str = "base"
 
+    #: Name of this policy's executable twin in the closed-loop swap engine
+    #: (:data:`repro.swap.EXECUTION_POLICIES`), or ``None`` when the policy
+    #: is analysis-only (recompute/compression estimators have no swap-engine
+    #: counterpart).  ``scenario.swap = policy.executable_name`` runs the same
+    #: strategy for real instead of estimating it.
+    executable_name: Optional[str] = None
+
+    def make_executable(self, **kwargs):
+        """Instantiate the executable twin for the swap-execution engine.
+
+        Raises ``ValueError`` for analysis-only policies.
+        """
+        if self.executable_name is None:
+            raise ValueError(
+                f"policy '{self.name}' is analysis-only and has no executable "
+                f"swap-engine counterpart")
+        from ..swap import get_execution_policy
+        return get_execution_policy(self.executable_name, **kwargs)
+
     @abstractmethod
     def evaluate(self, trace: MemoryTrace,
                  bandwidths: Optional[BandwidthConfig] = None) -> Optional[PolicySummary]:
@@ -79,6 +98,7 @@ class PlannerPolicy(MemoryPolicy):
     """The paper's Eq.-1 swap planner: swap only where the ATI hides the copy."""
 
     name = "planner"
+    executable_name = "planner"
 
     def evaluate(self, trace: MemoryTrace,
                  bandwidths: Optional[BandwidthConfig] = None) -> Optional[PolicySummary]:
@@ -95,6 +115,7 @@ class SwapAdvisorPolicy(MemoryPolicy):
     """Size-ranked swapping in the spirit of SwapAdvisor (timing-oblivious)."""
 
     name = "swap_advisor"
+    executable_name = "swap_advisor"
 
     def __init__(self, top_k: int = 5):
         self.top_k = int(top_k)
@@ -112,6 +133,7 @@ class ZeroOffloadPolicy(MemoryPolicy):
     """Optimizer-state/gradient offload in the spirit of ZeRO-Offload."""
 
     name = "zero_offload"
+    executable_name = "zero_offload"
 
     def evaluate(self, trace: MemoryTrace,
                  bandwidths: Optional[BandwidthConfig] = None) -> Optional[PolicySummary]:

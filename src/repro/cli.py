@@ -19,8 +19,10 @@ Three subcommands cover the common workflows without writing any Python:
     baseline policy × device × dtype × replica count × interconnect), run it
     across worker processes with on-disk result caching and print the tidy
     summary table.  ``--n-devices 1,2,4`` turns each scenario into a
-    data-parallel cluster sweep.  ``--dry-run`` prints the expanded
-    scenarios without running anything.
+    data-parallel cluster sweep.  ``--swap planner`` runs each scenario under
+    the closed-loop swap-execution engine and reports measured peak
+    reduction and stall time next to the planner's predictions.
+    ``--dry-run`` prints the expanded scenarios without running anything.
 
 ``python -m repro report``
     Regenerate EXPERIMENTS.md and the ``docs/figures/`` pages from cached
@@ -39,6 +41,7 @@ from .core.events import PAPER_BUCKETS
 from .data.datasets import DATASET_PRESETS
 from .device.spec import DEVICE_PRESETS
 from .models.registry import available_models
+from .swap.policies import SWAP_OFF, available_execution_policies
 from .train.session import TrainingRunConfig, run_training_session
 from .units import format_bytes
 from .viz import render_stacked_bars, render_table
@@ -67,6 +70,11 @@ def _build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--device", default="titan_x_pascal", choices=sorted(DEVICE_PRESETS))
     profile.add_argument("--allocator", default="caching",
                          choices=("caching", "best_fit", "bump"))
+    profile.add_argument("--swap", default=SWAP_OFF,
+                         choices=(SWAP_OFF,) + available_execution_policies(),
+                         help="run the closed-loop swap-execution engine "
+                              "during the session and print its measured "
+                              "vs predicted summary")
     profile.add_argument("--input-size", type=int, default=None,
                          help="model input resolution (conv models only)")
     profile.add_argument("--num-classes", type=int, default=None)
@@ -123,6 +131,14 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(pcie_gen3, pcie_gen4, nvlink2, ethernet_25g)")
     sweep.add_argument("--allreduce", default="ring", choices=("ring", "naive"),
                        help="allreduce cost model used for gradient collectives")
+    sweep.add_argument("--swap", default="off",
+                       help="comma-separated closed-loop swap-execution modes "
+                            "(off, planner, swap_advisor, zero_offload, lru): "
+                            "the engine actually evicts/prefetches blocks on "
+                            "the copy stream during the simulation and "
+                            "reports measured peak reduction + stall time "
+                            "next to the policy's predictions; use >=4 "
+                            "iterations to see steady-state behavior")
     sweep.add_argument("--seeds", default="0", help="comma-separated RNG seeds")
     sweep.add_argument("--dataset", default="two_cluster",
                        choices=sorted(DATASET_PRESETS))
@@ -135,6 +151,13 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--input-size", type=int, default=None,
                        help="model input resolution (conv models only)")
     sweep.add_argument("--num-classes", type=int, default=None)
+    sweep.add_argument("--hidden-dim", type=int, default=None,
+                       help="hidden width (mlp models only); deep/wide MLPs "
+                            "are the workloads where --swap planner has "
+                            "multi-hundred-ms idle windows to hide "
+                            "transfers behind")
+    sweep.add_argument("--num-layers", type=int, default=None,
+                       help="number of hidden layers (mlp models only)")
     sweep.add_argument("--device-memory-gib", type=float, default=None,
                        help="override the device memory capacity (GiB)")
     sweep.add_argument("--workers", type=int, default=1,
@@ -170,7 +193,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         model=args.model, model_kwargs=model_kwargs, dataset=args.dataset,
         batch_size=args.batch_size, iterations=args.iterations,
         execution_mode=args.execution_mode, device_spec=args.device,
-        allocator=args.allocator,
+        allocator=args.allocator, swap=args.swap,
     )
     print(f"Profiling {config.describe()} ...")
     result = run_training_session(config)
@@ -188,6 +211,11 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
     print("\nOccupation breakdown at peak:")
     print("  " + occupation_breakdown(trace, label=config.describe()).format_row())
+
+    if result.swap_execution is not None:
+        print("\nSwap execution (measured vs predicted):")
+        for key, value in result.swap_execution.items():
+            print(f"  {key}: {value}")
 
     if args.save_trace:
         path = trace.save_json(args.save_trace)
@@ -275,7 +303,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     import json as json_module
 
     from .device.cluster import INTERCONNECT_PRESETS
-    from .experiments.sweep import SWAP_POLICIES, SweepGrid, SweepRunner, default_cache_dir
+    from .experiments.sweep import (
+        SWAP_EXECUTION_MODES,
+        SWAP_POLICIES,
+        SweepGrid,
+        SweepRunner,
+        default_cache_dir,
+    )
     from .units import GIB
 
     # Validate the comma-separated dimensions up front: a typo must fail with
@@ -284,6 +318,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         ("--models", _split_csv(args.models), set(available_models())),
         ("--allocators", _split_csv(args.allocators), {"caching", "best_fit", "bump"}),
         ("--swap-policies", _split_csv(args.swap_policies), set(SWAP_POLICIES)),
+        ("--swap", _split_csv(args.swap), set(SWAP_EXECUTION_MODES)),
         ("--devices", _split_csv(args.devices), set(DEVICE_PRESETS)),
         ("--dtypes", _split_csv(args.dtypes), {"float16", "float32", "float64"}),
         ("--interconnects", _split_csv(args.interconnects),
@@ -313,6 +348,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         model_kwargs["input_size"] = args.input_size
     if args.num_classes is not None:
         model_kwargs["num_classes"] = args.num_classes
+    if args.hidden_dim is not None:
+        model_kwargs["hidden_dim"] = args.hidden_dim
+    if args.num_layers is not None:
+        model_kwargs["num_hidden_layers"] = args.num_layers
     grid = SweepGrid(
         models=_split_csv(args.models),
         batch_sizes=batch_sizes,
@@ -324,6 +363,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         n_devices=n_devices,
         interconnects=_split_csv(args.interconnects),
         allreduce_algorithm=args.allreduce,
+        swaps=_split_csv(args.swap),
         seeds=seeds,
         dataset=args.dataset,
         execution_mode=args.execution_mode,

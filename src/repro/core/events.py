@@ -18,12 +18,22 @@ from typing import Any, Dict, Optional
 
 
 class MemoryEventKind(enum.Enum):
-    """The four memory behaviors tracked by the paper, plus segment events.
+    """The four memory behaviors tracked by the paper, plus runtime events.
 
     ``SEGMENT_ALLOC`` / ``SEGMENT_FREE`` correspond to the underlying
     ``cudaMalloc`` / ``cudaFree`` calls issued by the caching allocator when
     it grows or shrinks its reserved pool; they are recorded for completeness
     (fragmentation analysis) but are not counted as block-level behaviors.
+
+    ``SWAP_OUT`` / ``SWAP_IN`` are emitted by the swap-execution engine
+    (:mod:`repro.swap`) when a block is evicted to host memory or brought
+    back to the device.  They are *runtime actions on* a block, not behaviors
+    *of* the workload, so they are excluded from the paper's block-behavior
+    set: ATI pairing, the occupation breakdown and the iterative-pattern
+    analysis all ignore them, while the residency accounting
+    (:meth:`~repro.core.trace.MemoryTrace.resident_bytes_series`) is built
+    from them.  New kinds append at the end so the stable integer codes of
+    the column store never shift.
     """
 
     MALLOC = "malloc"
@@ -32,6 +42,8 @@ class MemoryEventKind(enum.Enum):
     WRITE = "write"
     SEGMENT_ALLOC = "segment_alloc"
     SEGMENT_FREE = "segment_free"
+    SWAP_OUT = "swap_out"
+    SWAP_IN = "swap_in"
 
     @property
     def is_access(self) -> bool:
@@ -47,6 +59,11 @@ class MemoryEventKind(enum.Enum):
             MemoryEventKind.READ,
             MemoryEventKind.WRITE,
         )
+
+    @property
+    def is_swap(self) -> bool:
+        """Whether this event is swap traffic emitted by the execution engine."""
+        return self in (MemoryEventKind.SWAP_OUT, MemoryEventKind.SWAP_IN)
 
 
 class MemoryCategory(enum.Enum):

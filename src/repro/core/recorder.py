@@ -29,6 +29,8 @@ _READ = KIND_CODES[MemoryEventKind.READ]
 _WRITE = KIND_CODES[MemoryEventKind.WRITE]
 _SEGMENT_ALLOC = KIND_CODES[MemoryEventKind.SEGMENT_ALLOC]
 _SEGMENT_FREE = KIND_CODES[MemoryEventKind.SEGMENT_FREE]
+_SWAP_OUT = KIND_CODES[MemoryEventKind.SWAP_OUT]
+_SWAP_IN = KIND_CODES[MemoryEventKind.SWAP_IN]
 _UNKNOWN_CATEGORY = CATEGORY_CODES[MemoryCategory.UNKNOWN]
 
 
@@ -131,6 +133,20 @@ class TraceRecorder(MemoryEventListener):
         self.log.append(_SEGMENT_FREE, self.clock.now_ns, -segment.segment_id,
                         segment.address, segment.size, _UNKNOWN_CATEGORY,
                         self._current_iteration, f"segment:{segment.pool}", "")
+
+    def on_swap_out(self, block, nbytes: int, op: str) -> None:
+        if not self.enabled:
+            return
+        self.log.append(_SWAP_OUT, self.clock.now_ns, block.block_id, block.address,
+                        block.size, CATEGORY_CODES[block.category],
+                        self._current_iteration, block.tag, op)
+
+    def on_swap_in(self, block, nbytes: int, op: str) -> None:
+        if not self.enabled:
+            return
+        self.log.append(_SWAP_IN, self.clock.now_ns, block.block_id, block.address,
+                        block.size, CATEGORY_CODES[block.category],
+                        self._current_iteration, block.tag, op)
 
     def _bump_access(self, block_id: int) -> None:
         lifetime = self._open_lifetimes.get(block_id)

@@ -226,7 +226,20 @@ class SwapPlanner:
         selection stops once ``target_bytes`` of savings (if given) is reached
         or the allowed overhead is exhausted.
         """
-        peak_before = trace.peak_live_bytes()
+        return self.plan_from_intervals(intervals, trace.peak_live_bytes(),
+                                        target_bytes=target_bytes)
+
+    def plan_from_intervals(self, intervals: Sequence[AccessInterval],
+                            peak_before: int,
+                            target_bytes: Optional[int] = None) -> SwapPlan:
+        """:meth:`plan` without a trace: candidates plus a known peak.
+
+        This is the entry point the closed-loop swap-execution engine
+        (:mod:`repro.swap`) uses after its warm-up iteration — it observed
+        the intervals and the peak itself, and routing its selection through
+        the same code as the offline planner is what makes the
+        predicted-vs-simulated comparison an apples-to-apples regression.
+        """
         candidates = self.evaluate(intervals)
 
         selected: List[SwapCandidate] = []

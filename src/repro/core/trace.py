@@ -62,12 +62,16 @@ _MALLOC_CODE = KIND_CODES[MemoryEventKind.MALLOC]
 _FREE_CODE = KIND_CODES[MemoryEventKind.FREE]
 _READ_CODE = KIND_CODES[MemoryEventKind.READ]
 _WRITE_CODE = KIND_CODES[MemoryEventKind.WRITE]
+_SWAP_OUT_CODE = KIND_CODES[MemoryEventKind.SWAP_OUT]
+_SWAP_IN_CODE = KIND_CODES[MemoryEventKind.SWAP_IN]
 
 #: Codes of the paper's four block-level behaviors.
 BLOCK_BEHAVIOR_CODES = np.array(
     [_MALLOC_CODE, _FREE_CODE, _READ_CODE, _WRITE_CODE], dtype=np.int64)
 #: Codes of the data-access behaviors (read/write).
 ACCESS_CODES = np.array([_READ_CODE, _WRITE_CODE], dtype=np.int64)
+#: Codes of the swap-engine actions (eviction / restoration).
+SWAP_CODES = np.array([_SWAP_OUT_CODE, _SWAP_IN_CODE], dtype=np.int64)
 
 
 @dataclass(frozen=True)
@@ -114,10 +118,46 @@ class EventColumns:
         """Boolean mask of the paper's four block-level behaviors."""
         return np.isin(self.kind_code, BLOCK_BEHAVIOR_CODES)
 
+    @property
+    def is_swap_out(self) -> np.ndarray:
+        """Boolean mask of swap-engine eviction events."""
+        return self.kind_code == _SWAP_OUT_CODE
+
+    @property
+    def is_swap_in(self) -> np.ndarray:
+        """Boolean mask of swap-engine restoration events."""
+        return self.kind_code == _SWAP_IN_CODE
+
+    @property
+    def is_swap(self) -> np.ndarray:
+        """Boolean mask of swap traffic (evictions and restorations)."""
+        return (self.kind_code == _SWAP_OUT_CODE) | (self.kind_code == _SWAP_IN_CODE)
+
     def live_deltas(self) -> np.ndarray:
-        """Per-event change in live bytes (+size on malloc, -size on free)."""
+        """Per-event change in live bytes (+size on malloc, -size on free).
+
+        Live bytes follow *allocation* semantics: swap traffic does not move
+        a block's allocation, so it contributes nothing here — the live-bytes
+        series of a swapped run equals that of the unswapped run (modulo the
+        stall-shifted timestamps), which is exactly what lets one run report
+        both its would-be peak and its swap-reduced resident peak.
+        """
         return np.where(self.is_malloc, self.size,
                         np.where(self.is_free, -self.size, 0))
+
+    def resident_deltas(self) -> np.ndarray:
+        """Per-event change in *device-resident* bytes.
+
+        Like :meth:`live_deltas` but swap traffic moves bytes off/onto the
+        device: ``swap_out`` subtracts the block size, ``swap_in`` adds it
+        back.  The swap engine guarantees every eviction is balanced by a
+        restoration (a block freed while swapped out gets a zero-copy
+        ``"discard"`` swap-in immediately before its free event), so the
+        cumulative sum of these deltas is the device-resident footprint over
+        time.
+        """
+        return np.where(self.is_malloc | self.is_swap_in, self.size,
+                        np.where(self.is_free | self.is_swap_out, -self.size, 0))
 
 
 class ColumnarEventLog:
@@ -471,6 +511,41 @@ class MemoryTrace:
         if live.size == 0:
             return 0
         return int(live.max())
+
+    # -- swap-execution views (populated by repro.swap's engine) -----------------------
+
+    def swap_events(self) -> List[MemoryEvent]:
+        """Swap traffic (``swap_out``/``swap_in``) emitted by the execution engine."""
+        return [event for event in self.events if event.kind.is_swap]
+
+    def has_swap_events(self) -> bool:
+        """Whether the swap-execution engine ran during this trace."""
+        if self.is_empty:
+            return False
+        return bool(self.columns().is_swap.any())
+
+    def resident_bytes_series(self) -> "tuple[np.ndarray, np.ndarray]":
+        """``(timestamps_ns, resident_bytes)`` after every residency-changing event.
+
+        Residency-changing events are malloc/free plus the swap engine's
+        ``swap_out``/``swap_in``.  Without swap traffic this is identical to
+        :meth:`live_bytes_series`; with it, the series is the footprint that
+        actually had to fit on the device — its maximum is the *measured*
+        peak a swap plan achieved, compared against the planner's predicted
+        peak by the ``repro.swap`` validation suite.
+        """
+        if self.is_empty:
+            return np.array([], dtype=np.int64), np.array([], dtype=np.int64)
+        cols = self.columns()
+        mask = cols.is_malloc | cols.is_free | cols.is_swap
+        return cols.timestamp_ns[mask], np.cumsum(cols.resident_deltas()[mask])
+
+    def peak_resident_bytes(self) -> int:
+        """Highest number of bytes simultaneously *resident on the device*."""
+        _, resident = self.resident_bytes_series()
+        if resident.size == 0:
+            return 0
+        return int(resident.max())
 
     # -- persistence -----------------------------------------------------------------------
 

@@ -106,6 +106,57 @@ class DmaEngine:
         self.records.append(record)
         return record
 
+    # -- deadline-scheduled copies (swap execution) ---------------------------------
+
+    def async_host_to_device_at(self, nbytes: int, earliest_start_ns: int,
+                                tag: str = "") -> CopyRecord:
+        """Host→device copy reserved on the copy stream at a (future) start time.
+
+        The swap engine uses this for prefetches: the copy may start no
+        earlier than ``earliest_start_ns`` (so the block stays on the host
+        for the bulk of its idle interval) and no earlier than the copy
+        stream's completion horizon (so concurrent swap traffic serializes
+        and contention shows up as late prefetches).
+        """
+        return self._async_copy_at("h2d", nbytes, self.spec.h2d_bandwidth,
+                                   earliest_start_ns, tag)
+
+    def async_device_to_host_at(self, nbytes: int, earliest_start_ns: int,
+                                tag: str = "") -> CopyRecord:
+        """Device→host copy reserved on the copy stream at a (future) start time."""
+        return self._async_copy_at("d2h", nbytes, self.spec.d2h_bandwidth,
+                                   earliest_start_ns, tag)
+
+    def async_host_to_device_by(self, nbytes: int, deadline_ns: int,
+                                earliest_start_ns: int = 0,
+                                tag: str = "") -> CopyRecord:
+        """Host→device copy placed to complete by ``deadline_ns`` if possible.
+
+        Deadline-driven prefetches use the latest-fitting idle window of the
+        copy stream (see :meth:`~repro.device.stream.Stream.reserve_before`),
+        so simultaneous prefetches against one deadline stack backwards in
+        time; an unmeetable deadline degrades to earliest-fit and the copy is
+        simply late.
+        """
+        duration = self.timing.memcpy_duration_ns(nbytes, self.spec.h2d_bandwidth)
+        start, end = self.copy_stream.reserve_before(
+            deadline_ns, duration, earliest_start_ns=earliest_start_ns,
+            name=tag or "swap-h2d")
+        record = CopyRecord(direction="h2d", nbytes=nbytes, start_ns=start,
+                            end_ns=end, tag=tag)
+        self.records.append(record)
+        return record
+
+    def _async_copy_at(self, direction: str, nbytes: int, bandwidth: float,
+                       earliest_start_ns: int, tag: str) -> CopyRecord:
+        duration = self.timing.memcpy_duration_ns(nbytes, bandwidth)
+        start, end = self.copy_stream.reserve(earliest_start_ns, duration,
+                                              name=tag or f"swap-{direction}")
+        record = CopyRecord(direction=direction, nbytes=nbytes, start_ns=start,
+                            end_ns=end, tag=tag)
+        self.records.append(record)
+        return record
+
     # -- helpers -------------------------------------------------------------------
 
     def round_trip_time_ns(self, nbytes: int) -> float:

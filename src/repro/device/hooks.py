@@ -44,6 +44,18 @@ class MemoryEventListener:
     def on_segment_free(self, segment: "Segment") -> None:
         """The allocator released a segment (simulated ``cudaFree``)."""
 
+    def on_swap_out(self, block: "Block", nbytes: int, op: str) -> None:
+        """The swap engine evicted ``block`` to the host (``nbytes`` moved)."""
+
+    def on_swap_in(self, block: "Block", nbytes: int, op: str) -> None:
+        """The swap engine restored ``block`` to the device (``nbytes`` moved).
+
+        ``op`` names how the restoration happened: a ``"prefetch"`` that made
+        its deadline, a ``"demand"`` fetch that stalled the device, or a
+        ``"discard"`` (the block was freed while swapped out, so nothing is
+        copied and ``nbytes`` is 0).
+        """
+
 
 class NullListener(MemoryEventListener):
     """A listener that ignores everything (the default when not profiling)."""
@@ -91,6 +103,14 @@ class CompositeListener(MemoryEventListener):
         for listener in self._listeners:
             listener.on_segment_free(segment)
 
+    def on_swap_out(self, block: "Block", nbytes: int, op: str) -> None:
+        for listener in self._listeners:
+            listener.on_swap_out(block, nbytes, op)
+
+    def on_swap_in(self, block: "Block", nbytes: int, op: str) -> None:
+        for listener in self._listeners:
+            listener.on_swap_in(block, nbytes, op)
+
 
 class CountingListener(MemoryEventListener):
     """A tiny listener that counts behaviors; useful in tests and sanity checks."""
@@ -102,6 +122,8 @@ class CountingListener(MemoryEventListener):
         self.writes = 0
         self.segment_allocs = 0
         self.segment_frees = 0
+        self.swap_outs = 0
+        self.swap_ins = 0
 
     def on_malloc(self, block: "Block", requested_size: int) -> None:
         self.mallocs += 1
@@ -120,6 +142,12 @@ class CountingListener(MemoryEventListener):
 
     def on_segment_free(self, segment: "Segment") -> None:
         self.segment_frees += 1
+
+    def on_swap_out(self, block: "Block", nbytes: int, op: str) -> None:
+        self.swap_outs += 1
+
+    def on_swap_in(self, block: "Block", nbytes: int, op: str) -> None:
+        self.swap_ins += 1
 
     @property
     def total_behaviors(self) -> int:

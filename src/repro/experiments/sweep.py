@@ -27,8 +27,12 @@ all share one execution path.
 Sweep axes
 ----------
 ``models x batch_sizes x iterations x allocators x device_specs x dtypes x
-n_devices x interconnects x host_dispatch_overheads_ns x seeds x
-swap_policies``.  The policy axis is backed by the :mod:`repro.baselines`
+n_devices x interconnects x swaps x host_dispatch_overheads_ns x seeds x
+swap_policies``.  The ``swaps`` axis turns the closed-loop swap-execution
+engine (:mod:`repro.swap`) on inside each scenario (``off``, ``planner``,
+``swap_advisor``, ``zero_offload``, ``lru``) — results then carry the
+engine's measured stall/peak numbers next to the policy's predictions.
+The policy axis is backed by the :mod:`repro.baselines`
 registry (swapping variants, recomputation, parameter compression); the
 dtype axis sets the device's default training precision; the device axis
 also selects the Eq.-1 bandwidths unless the runner overrides them
@@ -70,6 +74,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..baselines.policy import available_policies, get_policy
+from ..swap.policies import EXECUTION_POLICIES, SWAP_OFF
 from ..core.ati import compute_interval_arrays, summarize_values_us
 from ..core.breakdown import BreakdownSeries, OccupationBreakdown, occupation_breakdown
 from ..core.fragmentation import analyze_fragmentation
@@ -83,7 +88,10 @@ from ..units import MIB
 #:     fp32 master weights under half-precision training.
 #: v4: symbolic execution mode is the sweep default (legacy name "virtual"),
 #:     columnar recorder, per-scenario wall time in the summary table.
-RESULT_SCHEMA_VERSION = 4
+#: v5: closed-loop swap execution (the ``swaps`` axis / ``--swap`` flag):
+#:     scenarios can run the repro.swap engine and results carry the
+#:     measured-vs-predicted swap_execution summary.
+RESULT_SCHEMA_VERSION = 5
 
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "REPRO_SWEEP_CACHE"
@@ -95,6 +103,10 @@ DEFAULT_CACHE_DIR = Path(".repro_cache") / "sweeps"
 #: historical name is kept although the axis now spans swapping, recompute
 #: and parameter-compression baselines).
 SWAP_POLICIES = available_policies()
+
+#: Modes of the closed-loop swap-execution axis: ``off`` plus the executable
+#: policy registry of :mod:`repro.swap` (the ``--swap`` CLI flag).
+SWAP_EXECUTION_MODES = (SWAP_OFF,) + tuple(EXECUTION_POLICIES)
 
 
 def default_cache_dir() -> Path:
@@ -160,7 +172,7 @@ class Scenario:
         return (f"{c.model}/{c.dataset} batch={c.batch_size} iters={c.iterations} "
                 f"alloc={c.allocator} swap={self.swap_policy} device={c.device_spec} "
                 f"dtype={c.dtype} ndev={c.n_devices} link={c.interconnect} "
-                f"mode={c.execution_mode}")
+                f"swap_exec={c.swap} mode={c.execution_mode}")
 
 
 @dataclass
@@ -181,6 +193,7 @@ class SweepGrid:
     dtypes: Sequence[str] = ("float32",)
     n_devices: Sequence[int] = (1,)
     interconnects: Sequence[str] = ("pcie_gen3",)
+    swaps: Sequence[str] = ("off",)
     host_dispatch_overheads_ns: Sequence[Optional[int]] = (None,)
     seeds: Sequence[int] = (0,)
     # shared scalars
@@ -199,6 +212,7 @@ class SweepGrid:
                 * len(self.allocators) * len(self.swap_policies)
                 * len(self.device_specs) * len(self.dtypes)
                 * len(self.n_devices) * len(self.interconnects)
+                * len(self.swaps)
                 * len(self.host_dispatch_overheads_ns) * len(self.seeds))
 
     def expand(self) -> List[Scenario]:
@@ -207,16 +221,22 @@ class SweepGrid:
             if policy not in SWAP_POLICIES:
                 raise ValueError(
                     f"unknown swap policy '{policy}'; known policies: {SWAP_POLICIES}")
+        for swap in self.swaps:
+            if swap not in SWAP_EXECUTION_MODES:
+                raise ValueError(
+                    f"unknown swap execution mode '{swap}'; known modes: "
+                    f"{SWAP_EXECUTION_MODES}")
         scenarios: List[Scenario] = []
         # Outermost dimension first; the policy varies fastest so that related
         # baselines of one workload sit together in the summary table.
         axes = itertools.product(
             self.models, self.batch_sizes, self.iterations, self.allocators,
             self.device_specs, self.dtypes, self.n_devices, self.interconnects,
-            self.host_dispatch_overheads_ns, self.seeds, self.swap_policies,
+            self.swaps, self.host_dispatch_overheads_ns, self.seeds,
+            self.swap_policies,
         )
         for (model, batch_size, iterations, allocator, device_spec, dtype,
-             n_devices, interconnect, overhead, seed, policy) in axes:
+             n_devices, interconnect, swap, overhead, seed, policy) in axes:
             config = TrainingRunConfig(
                 model=model,
                 model_kwargs=dict(self.model_kwargs),
@@ -236,6 +256,7 @@ class SweepGrid:
                 n_devices=n_devices,
                 interconnect=interconnect,
                 allreduce_algorithm=self.allreduce_algorithm,
+                swap=swap,
                 label=f"{model}-batch{batch_size}-{allocator}",
             )
             scenarios.append(Scenario(config=config, swap_policy=policy))
@@ -268,6 +289,9 @@ class ScenarioResult:
     mean_utilization: float
     wall_time_s: float
     collective: Optional[Dict[str, object]] = None  # allreduce summary (n_devices>1)
+    #: Closed-loop swap-execution summary (measured counters + stalls + the
+    #: policy's predicted numbers); ``None`` when the scenario ran swap-off.
+    swap_execution: Optional[Dict[str, object]] = None
     from_cache: bool = False
 
     def to_dict(self) -> Dict[str, object]:
@@ -308,6 +332,16 @@ class ScenarioResult:
             "swap_savings_mib": round(
                 float((self.swap or {}).get("savings_bytes", 0)) / MIB, 2),
             "cached": self.from_cache,
+        })
+        execution = self.swap_execution or {}
+        predicted = execution.get("predicted") or {}
+        row.update({
+            "swap_stall_ms": round(
+                float(execution.get("stall_ns_per_iteration", 0.0)) / 1e6, 3),
+            "swap_measured_mib": round(
+                float(execution.get("measured_savings_bytes", 0)) / MIB, 2),
+            "swap_predicted_mib": round(
+                float(predicted.get("savings_bytes", 0) or 0) / MIB, 2),
         })
         return row
 
@@ -377,6 +411,7 @@ def run_scenario(scenario: Scenario,
             "dtype": config.dtype,
             "n_devices": config.n_devices,
             "interconnect": config.interconnect,
+            "swap": config.swap,
             "execution_mode": config.execution_mode,
             "seed": config.seed,
         },
@@ -398,6 +433,7 @@ def run_scenario(scenario: Scenario,
         mean_utilization=float(mean_utilization),
         wall_time_s=time.perf_counter() - started,
         collective=session.collective,
+        swap_execution=session.swap_execution,
     )
 
 
@@ -477,6 +513,11 @@ class SweepResult:
                        "interconnect", "peak_alloc_mib", "step_time_ms",
                        "allreduce_ms", "ati_p50_us", "ati_p90_us", "swappable_frac",
                        "swap_savings_mib", "wall_s", "cached"]
+            if any(row.get("swap", "off") != "off" for row in rows):
+                columns[columns.index("swap_savings_mib"):
+                        columns.index("swap_savings_mib") + 1] = [
+                    "swap", "swap_measured_mib", "swap_predicted_mib",
+                    "swap_stall_ms"]
             columns = [c for c in columns if c in rows[0]]
         return render_table(rows, columns=columns)
 

@@ -1,0 +1,62 @@
+"""Closed-loop swap-execution engine.
+
+The analytic side of the reproduction (:mod:`repro.core.swap`,
+:mod:`repro.baselines`) *predicts* what evicting blocks to host memory would
+do to the footprint and the step time.  This package *executes* those
+decisions inside the simulation: a :class:`SwapExecutor` attaches to a
+device as a memory-event listener, watches one warm-up iteration, lets a
+:class:`SwapExecutionPolicy` turn the observed behaviors into eviction /
+prefetch decisions, schedules the resulting copies on the device's dedicated
+copy stream (so they overlap with compute and contend with each other), and
+stalls the device clock whenever a prefetch misses its deadline.  Every
+eviction and restoration is recorded as a first-class ``swap_out`` /
+``swap_in`` trace event, so the *measured* peak-memory reduction and stall
+overhead fall out of the trace and can be regressed against the planner's
+*predicted* numbers.
+
+Policies (see :data:`EXECUTION_POLICIES`):
+
+``planner``
+    The paper's Eq.-1 cost model, executed: swap exactly the candidates the
+    :class:`~repro.core.swap.SwapPlanner` selects, prefetching against each
+    candidate's measured access-time interval.
+``swap_advisor``
+    Size-ranked swapping in the spirit of SwapAdvisor: the largest blocks
+    are swapped regardless of timing; infeasible intervals surface as
+    measured stalls.
+``zero_offload``
+    Optimizer state and parameter gradients are evicted at the end of every
+    iteration and demand-fetched (synchronously, with a stall) on their next
+    access — ZeRO-Offload's dataflow without its CPU-compute overlap.
+``lru``
+    An online budget policy: whenever the resident footprint exceeds a
+    budget, the least-recently-accessed blocks are evicted; evicted blocks
+    are demand-fetched on access.
+"""
+
+from .executor import SwapExecutor, SwapExecutionSummary
+from .policies import (
+    EXECUTION_POLICIES,
+    EvictDirective,
+    LruExecutionPolicy,
+    PlannerExecutionPolicy,
+    SwapAdvisorExecutionPolicy,
+    SwapExecutionPolicy,
+    ZeroOffloadExecutionPolicy,
+    available_execution_policies,
+    get_execution_policy,
+)
+
+__all__ = [
+    "EXECUTION_POLICIES",
+    "EvictDirective",
+    "LruExecutionPolicy",
+    "PlannerExecutionPolicy",
+    "SwapAdvisorExecutionPolicy",
+    "SwapExecutionPolicy",
+    "SwapExecutionSummary",
+    "SwapExecutor",
+    "ZeroOffloadExecutionPolicy",
+    "available_execution_policies",
+    "get_execution_policy",
+]

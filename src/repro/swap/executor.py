@@ -1,0 +1,593 @@
+"""The swap executor: runs eviction/prefetch decisions inside the simulation.
+
+:class:`SwapExecutor` is a :class:`~repro.device.hooks.MemoryEventListener`
+attached to a device *ahead of* the trace recorder, which gives it a
+closed loop around the training run:
+
+* during the **warm-up iteration(s)** it only observes: per-block sizes,
+  categories, access ordinals and the largest idle gap between adjacent
+  accesses (the block's access-time interval), plus the unswapped peak
+  footprint and the moment it occurs;
+* from the first post-warm-up iteration its
+  :class:`~repro.swap.policies.SwapExecutionPolicy` turns those observations
+  into eviction directives.  Evictions are scheduled as device→host copies on
+  the device's dedicated copy stream (so concurrent swap traffic serializes —
+  DMA contention is modelled, not assumed away) and, for deadline-driven
+  policies, a host→device prefetch is reserved to complete right when the
+  measured interval predicts the next access;
+* on an access to a non-resident block the executor *stalls the device
+  clock* until the in-flight prefetch (or a freshly issued demand fetch)
+  completes.  Stalls therefore lengthen the recorded iterations exactly the
+  way a synchronous ``cudaMemcpy`` wait would.
+
+Every eviction/restoration is emitted through the device's listener fan-out
+as a first-class ``swap_out``/``swap_in`` event, so the recorded trace
+carries the *measured* story: :meth:`~repro.core.trace.MemoryTrace.\
+peak_resident_bytes` vs :meth:`~repro.core.trace.MemoryTrace.peak_live_bytes`
+is the achieved peak reduction, and the summed stalls are the achieved
+overhead — both directly comparable with the policy's *predicted* summary.
+
+Gap learning is iteration-phase aware: only gaps whose opening access
+happened inside a training iteration are learned (model-construction
+accesses never produce triggers), gaps distorted by the block's own swap
+traffic are discarded, and each gap remembers its within-iteration phase and
+whether it crosses an iteration boundary — boundary gaps are executed at
+``end_iteration`` (where no further same-iteration access can misfire) while
+within-iteration gaps trigger on the opening access's ordinal.
+
+Ordering guarantees (they keep the trace's residency accounting exact):
+
+* the stall and the ``swap_in`` event precede the access event that needed
+  the block;
+* a block freed while swapped out receives a zero-copy ``"discard"``
+  ``swap_in`` immediately before its ``free`` event, so every eviction is
+  balanced;
+* post-access evictions are deferred to the next listener callback, so the
+  ``swap_out`` lands *after* the triggering access in the event stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
+
+from ..core.events import MemoryCategory
+from ..core.swap import BandwidthConfig
+from ..device.hooks import MemoryEventListener
+from .policies import EvictDirective, SwapExecutionPolicy, get_execution_policy
+
+
+@dataclass
+class BlockState:
+    """Everything the executor knows about one device memory block."""
+
+    block_id: int
+    size: int = 0
+    category: MemoryCategory = MemoryCategory.UNKNOWN
+    tag: str = ""
+    block: object = None            # the live Block (for event emission)
+    resident: bool = True
+    freed: bool = False
+    pending_ready_ns: Optional[int] = None   # in-flight prefetch completion
+    swapped_copy_bytes: int = 0              # bytes moved by the last eviction
+    last_access_ns: int = 0
+    iter_access_count: int = 0               # accesses seen this iteration
+    prev_access_ns: Optional[int] = None
+    prev_access_ordinal: int = 0
+    prev_access_iteration: Optional[int] = None
+    prev_access_phase_ns: int = 0
+    first_access_phase_ns: int = 0           # first in-iteration access offset
+    best_gap_ns: int = 0                     # largest observed idle interval
+    best_gap_ordinal: int = 0                # ordinal of its opening access
+    best_gap_phase_ns: int = 0               # opening access offset in its iteration
+    best_gap_crosses: bool = False           # gap spans an iteration boundary
+    gap_tainted: bool = False                # next gap includes swap distortion
+
+
+@dataclass
+class WarmupObservations:
+    """The executor's observations handed to a policy at (re)plan time."""
+
+    blocks: List[BlockState]
+    by_id: Dict[int, BlockState]
+    peak_resident_bytes: int
+    peak_phase_ns: Optional[int]      # warm-up peak offset in its iteration
+    iteration_duration_ns: int        # warm-up iteration length
+    #: ``(phase_ns, live_bytes)`` after every warm-up malloc/free — the
+    #: footprint-vs-phase profile policies evaluate predicted peaks against
+    #: (a plan's binding constraint is often a *secondary* peak, e.g. the
+    #: optimizer step where everything swapped is back on the device).
+    live_series: List = None
+
+
+@dataclass
+class SwapExecutionSummary:
+    """Measured outcome of one executor's run (plus its policy's prediction)."""
+
+    policy: str
+    active_iterations: int
+    swap_out_count: int
+    swap_in_count: int
+    prefetches_scheduled: int
+    prefetch_hits: int
+    late_prefetches: int
+    demand_fetches: int
+    discards: int
+    shutdown_restores: int
+    bytes_swapped_out: int
+    bytes_swapped_in: int
+    stall_ns_total: int
+    copy_busy_ns: int
+    peak_resident_bytes: int          # over the active (swapping) iterations
+    peak_live_bytes: int              # allocation peak over the same iterations
+    warmup_peak_bytes: int            # the unswapped warm-up footprint
+    predicted: Optional[Dict[str, object]] = None
+
+    @property
+    def measured_savings_bytes(self) -> int:
+        """Measured peak reduction over the swapping iterations.
+
+        Both peaks cover the *same* iterations: ``peak_live_bytes`` is what
+        the footprint would have been (allocation semantics are untouched by
+        swapping), ``peak_resident_bytes`` is what actually had to fit.
+        """
+        return max(0, self.peak_live_bytes - self.peak_resident_bytes)
+
+    @property
+    def measured_savings_fraction(self) -> float:
+        """Measured peak reduction relative to the unswapped (live) peak."""
+        if self.peak_live_bytes == 0:
+            return 0.0
+        return self.measured_savings_bytes / self.peak_live_bytes
+
+    @property
+    def stall_ns_per_iteration(self) -> float:
+        """Measured stall overhead normalized per swapping iteration."""
+        if self.active_iterations == 0:
+            return 0.0
+        return self.stall_ns_total / self.active_iterations
+
+    def to_dict(self) -> Dict[str, object]:
+        """Serialize for scenario results and reports."""
+        return {
+            "policy": self.policy,
+            "active_iterations": self.active_iterations,
+            "swap_out_count": self.swap_out_count,
+            "swap_in_count": self.swap_in_count,
+            "prefetches_scheduled": self.prefetches_scheduled,
+            "prefetch_hits": self.prefetch_hits,
+            "late_prefetches": self.late_prefetches,
+            "demand_fetches": self.demand_fetches,
+            "discards": self.discards,
+            "shutdown_restores": self.shutdown_restores,
+            "bytes_swapped_out": self.bytes_swapped_out,
+            "bytes_swapped_in": self.bytes_swapped_in,
+            "stall_ns_total": self.stall_ns_total,
+            "stall_ns_per_iteration": self.stall_ns_per_iteration,
+            "copy_busy_ns": self.copy_busy_ns,
+            "peak_resident_bytes": self.peak_resident_bytes,
+            "peak_live_bytes": self.peak_live_bytes,
+            "warmup_peak_bytes": self.warmup_peak_bytes,
+            "measured_savings_bytes": self.measured_savings_bytes,
+            "measured_savings_fraction": self.measured_savings_fraction,
+            "predicted": self.predicted,
+        }
+
+
+class SwapExecutor(MemoryEventListener):
+    """Execute a swap policy against a live simulated device.
+
+    Parameters
+    ----------
+    device:
+        The simulated device; the executor uses its clock, DMA engine (and
+        therefore its dedicated copy stream), timing model and listener
+        fan-out.
+    policy:
+        A :class:`~repro.swap.policies.SwapExecutionPolicy` instance or a
+        registry name (``planner``, ``swap_advisor``, ``zero_offload``,
+        ``lru``).
+    warmup_iterations:
+        Iterations observed before the policy activates (default 1).  The
+        policy replans at every later iteration start from the accumulated
+        (swap-undistorted) observations, so cross-iteration idle intervals —
+        the paper's large outliers — are picked up as soon as they close.
+    prefetch_margin_ns:
+        Prefetches aim to complete this much *before* the predicted next
+        access (0 = exactly on time; contention can still make them late).
+    bandwidths:
+        Eq.-1 bandwidths for the policy's predictions; defaults to the
+        device spec's (the transfers themselves always use the spec).
+    """
+
+    def __init__(self, device, policy: Union[str, SwapExecutionPolicy],
+                 warmup_iterations: int = 1, prefetch_margin_ns: int = 0,
+                 bandwidths: Optional[BandwidthConfig] = None):
+        self.device = device
+        self.policy = (get_execution_policy(policy)
+                       if isinstance(policy, str) else policy)
+        self.warmup_iterations = max(1, int(warmup_iterations))
+        self.prefetch_margin_ns = max(0, int(prefetch_margin_ns))
+        self.bandwidths = (bandwidths if bandwidths is not None
+                           else BandwidthConfig.from_device_spec(device.spec))
+        self._states: Dict[int, BlockState] = {}
+        self._deferred: List[EvictDirective] = []
+        self._active = False
+        # iteration bookkeeping
+        self._iteration_index: Optional[int] = None
+        self._iteration_start_ns = 0
+        self._warmup_iter_duration_ns = 0
+        # accounting
+        self._resident_bytes = 0
+        self._live_bytes = 0
+        self._peak_resident_active = 0
+        self._peak_live_active = 0
+        self._learning_frozen = False
+        self._plan_frozen = False
+        self._steady_started = False
+        # committed warm-up profile: the last clean iteration's live-bytes
+        # series / peak / duration (refreshed every pre-steady iteration, so
+        # lazily allocated state — e.g. momentum buffers — is included)
+        self._warmup_peak_bytes = 0
+        self._warmup_peak_phase_ns: Optional[int] = None
+        self._warmup_live_series: List = []   # (phase_ns, live_bytes) samples
+        # in-progress trackers for the iteration being observed
+        self._iter_live_series: List = []
+        self._iter_peak_live = 0
+        self._iter_peak_phase_ns: Optional[int] = None
+        # counters
+        self.active_iterations = 0
+        self.swap_out_count = 0
+        self.swap_in_count = 0
+        self.prefetches_scheduled = 0
+        self.prefetch_hits = 0
+        self.late_prefetches = 0
+        self.demand_fetches = 0
+        self.discards = 0
+        self.shutdown_restores = 0
+        self.bytes_swapped_out = 0
+        self.bytes_swapped_in = 0
+        self.stall_ns_total = 0
+        self.copy_busy_ns = 0
+
+    # -- introspection -----------------------------------------------------------------
+
+    @property
+    def is_active(self) -> bool:
+        """Whether the warm-up is over and the policy is executing."""
+        return self._active
+
+    @property
+    def resident_bytes(self) -> int:
+        """Bytes currently resident on the device (allocated minus swapped out)."""
+        return self._resident_bytes
+
+    @property
+    def swapped_out_bytes(self) -> int:
+        """Bytes of allocated blocks currently evicted to the host."""
+        return sum(state.size for state in self._states.values()
+                   if not state.freed and not state.resident)
+
+    def observations(self) -> WarmupObservations:
+        """Current (swap-undistorted) per-block observations for planning."""
+        blocks = [state for state in self._states.values() if state.size > 0]
+        return WarmupObservations(blocks=blocks, by_id=self._states,
+                                  peak_resident_bytes=self._warmup_peak_bytes,
+                                  peak_phase_ns=self._warmup_peak_phase_ns,
+                                  iteration_duration_ns=self._warmup_iter_duration_ns,
+                                  live_series=self._warmup_live_series)
+
+    def summary(self) -> SwapExecutionSummary:
+        """The measured outcome so far (plus the policy's prediction)."""
+        return SwapExecutionSummary(
+            policy=self.policy.name,
+            active_iterations=self.active_iterations,
+            swap_out_count=self.swap_out_count,
+            swap_in_count=self.swap_in_count,
+            prefetches_scheduled=self.prefetches_scheduled,
+            prefetch_hits=self.prefetch_hits,
+            late_prefetches=self.late_prefetches,
+            demand_fetches=self.demand_fetches,
+            discards=self.discards,
+            shutdown_restores=self.shutdown_restores,
+            bytes_swapped_out=self.bytes_swapped_out,
+            bytes_swapped_in=self.bytes_swapped_in,
+            stall_ns_total=self.stall_ns_total,
+            copy_busy_ns=self.copy_busy_ns,
+            peak_resident_bytes=(self._peak_resident_active if self._active
+                                 else self._warmup_peak_bytes),
+            peak_live_bytes=(self._peak_live_active if self._active
+                             else self._warmup_peak_bytes),
+            warmup_peak_bytes=self._warmup_peak_bytes,
+            predicted=self.policy.predicted,
+        )
+
+    # -- iteration hooks (duck-typed like a recorder) ---------------------------------
+
+    def begin_iteration(self, index: int) -> None:
+        """Iteration start: reset per-iteration ordinals, (re)plan, activate."""
+        self._flush_deferred()
+        self._iteration_index = index
+        self._iteration_start_ns = self.device.clock.now_ns
+        for state in self._states.values():
+            state.iter_access_count = 0
+        if index > self.warmup_iterations:
+            # Observation stops one iteration into execution: the first
+            # active iteration still closes the cross-boundary windows and
+            # refreshes the live profile (with e.g. the lazily allocated
+            # optimizer state included), but later samples would fold the
+            # engine's own stalls back into the plan and destabilize it.
+            self._learning_frozen = True
+        if not self._learning_frozen:
+            self._iter_live_series = []
+            self._iter_peak_live = self._live_bytes
+            self._iter_peak_phase_ns = None
+        if index > self.warmup_iterations + 1 and not self._steady_started:
+            # Measured peaks restart at the first fully steady iteration:
+            # iteration warmup ran unswapped, and iteration warmup+1 still
+            # starts with everything resident (the first boundary-window
+            # eviction pass only happens at its end), so earlier iterations
+            # are not a fair comparison against the plan.
+            self._steady_started = True
+            self._peak_resident_active = self._resident_bytes
+            self._peak_live_active = self._live_bytes
+        if index >= self.warmup_iterations:
+            if not self._plan_frozen:
+                # Replans are only useful while the observations can still
+                # change; the first plan after learning froze is final.
+                self.policy.plan(self.observations(), self.bandwidths)
+                self._plan_frozen = self._learning_frozen
+            if not self._active:
+                self._active = True
+                self._peak_resident_active = self._resident_bytes
+                self._peak_live_active = self._live_bytes
+            self.active_iterations += 1
+
+    def end_iteration(self, index: int) -> None:
+        """Iteration end: flush deferred evictions, apply boundary directives."""
+        self._flush_deferred()
+        if not self._learning_frozen:
+            # Commit this iteration as the reference profile for planning.
+            self._warmup_iter_duration_ns = (self.device.clock.now_ns
+                                             - self._iteration_start_ns)
+            self._warmup_live_series = self._iter_live_series
+            self._warmup_peak_bytes = self._iter_peak_live
+            self._warmup_peak_phase_ns = self._iter_peak_phase_ns
+        if self._active:
+            resident = [state for state in self._states.values()
+                        if state.resident and not state.freed]
+            for directive in self.policy.directives_at_iteration_end(resident):
+                self._evict(directive)
+        self._iteration_index = None
+
+    def finalize(self) -> None:
+        """Balance the books at the end of the run.
+
+        Every block still swapped out gets a zero-copy ``"shutdown"``
+        ``swap_in``, so the trace's residency series always sums back to the
+        allocation series and peak accounting can never be skewed by
+        unmatched evictions at the tail of the run.
+        """
+        self._flush_deferred()
+        for state in self._states.values():
+            if state.freed or state.resident:
+                continue
+            state.resident = True
+            state.pending_ready_ns = None
+            # Bookkeeping only — nothing actually arrives on the device, so
+            # the measured resident peak must not see this restoration.
+            self._resident_bytes += state.size
+            self.shutdown_restores += 1
+            self.swap_in_count += 1
+            self.device.listeners.on_swap_in(state.block, 0, "shutdown")
+
+    # -- listener hooks ----------------------------------------------------------------
+
+    def on_malloc(self, block, requested_size: int) -> None:
+        self._flush_deferred()
+        state = self._states.get(block.block_id)
+        if state is None:
+            state = BlockState(block_id=block.block_id)
+            self._states[block.block_id] = state
+        state.size = block.size
+        state.category = block.category
+        state.tag = block.tag
+        state.block = block
+        state.freed = False
+        state.pending_ready_ns = None
+        if self._active:
+            # Relieve pressure *before* the allocation lands — an allocator
+            # under pressure frees space first — so the overshoot never shows
+            # up in the resident peak (the swap_out events also precede the
+            # malloc event in the trace).
+            state.resident = False
+            resident = (s for s in self._states.values()
+                        if s.resident and not s.freed)
+            for directive in self.policy.directives_on_pressure(
+                    resident, self._resident_bytes + block.size, state):
+                self._evict(directive)
+        state.resident = True
+        self._bump_live(block.size)
+        self._bump_resident(block.size)
+        self._sample_live()
+
+    def on_free(self, block) -> None:
+        self._flush_deferred()
+        state = self._states.get(block.block_id)
+        if state is None or state.freed:
+            return
+        if not state.resident:
+            # Freed while swapped out: nothing comes back over the link, but
+            # the residency books must balance before the free event lands.
+            state.resident = True
+            state.pending_ready_ns = None
+            self._bump_resident(state.size)
+            self.discards += 1
+            self.swap_in_count += 1
+            self.device.listeners.on_swap_in(state.block, 0, "discard")
+        self._resident_bytes -= state.size
+        self._live_bytes -= state.size
+        self._sample_live()
+        state.freed = True
+        state.resident = False
+        state.gap_tainted = False
+        # A gap must never span a free/malloc round trip: once the block is
+        # freed its bytes are gone, so there is nothing left to swap during
+        # the idle time — unlike the paper's analysis-level ATIs, execution
+        # windows are constrained to a single lifetime.
+        state.prev_access_ns = None
+        state.prev_access_iteration = None
+
+    def on_read(self, block, nbytes: int, op: str) -> None:
+        self._on_access(block)
+
+    def on_write(self, block, nbytes: int, op: str) -> None:
+        self._on_access(block)
+
+    # -- core mechanics ----------------------------------------------------------------
+
+    def _on_access(self, block) -> None:
+        self._flush_deferred()
+        state = self._states.get(block.block_id)
+        if state is None:
+            # Attached mid-run: adopt the block as a resident unknown.
+            state = BlockState(block_id=block.block_id, size=block.size,
+                               category=block.category, tag=block.tag,
+                               block=block)
+            self._states[block.block_id] = state
+            self._bump_live(block.size)
+            self._bump_resident(block.size)
+        if not state.resident and not state.freed:
+            self._ensure_resident(state)
+        now = self.device.clock.now_ns
+        in_iteration = self._iteration_index is not None
+        state.iter_access_count += 1
+        if (state.iter_access_count == 1 and in_iteration
+                and not self._learning_frozen):
+            state.first_access_phase_ns = now - self._iteration_start_ns
+        if state.prev_access_ns is not None:
+            if state.gap_tainted:
+                # The gap includes this block's own eviction/stall timeline;
+                # learning from it would feed distortion back into the plan.
+                state.gap_tainted = False
+            elif (not self._learning_frozen
+                  and state.prev_access_iteration is not None):
+                gap = now - state.prev_access_ns
+                if gap > state.best_gap_ns:
+                    state.best_gap_ns = gap
+                    state.best_gap_ordinal = state.prev_access_ordinal
+                    state.best_gap_phase_ns = state.prev_access_phase_ns
+                    state.best_gap_crosses = (
+                        not in_iteration
+                        or state.prev_access_iteration != self._iteration_index)
+        state.prev_access_ns = now
+        state.prev_access_ordinal = state.iter_access_count
+        state.prev_access_iteration = self._iteration_index
+        state.prev_access_phase_ns = (now - self._iteration_start_ns
+                                      if in_iteration else 0)
+        state.last_access_ns = now
+        if self._active:
+            directive = self.policy.directive_after_access(state)
+            if directive is not None:
+                self._deferred.append(directive)
+
+    def _ensure_resident(self, state: BlockState) -> None:
+        """Restore a swapped-out block before the access that needs it."""
+        now = self.device.clock.now_ns
+        nbytes = state.swapped_copy_bytes or state.size
+        if state.pending_ready_ns is not None:
+            ready = state.pending_ready_ns
+            op = "prefetch"
+        else:
+            record = self.device.dma.async_host_to_device_at(
+                nbytes, now, tag=f"swap_in:{state.tag}")
+            self.copy_busy_ns += record.duration_ns
+            ready = record.end_ns
+            op = "demand"
+            self.demand_fetches += 1
+        stall = max(0, ready - now)
+        if stall > 0:
+            self.device.clock.advance(stall)
+            self.stall_ns_total += stall
+            if op == "prefetch":
+                self.late_prefetches += 1
+        elif op == "prefetch":
+            self.prefetch_hits += 1
+        if self._active:
+            # A restoration raises residency just like an allocation does, so
+            # budget policies (LRU) get the same pressure hook — and like the
+            # on_malloc path it runs *before* the bump, so a demand-fetch
+            # burst (the optimizer step pulling every buffer back) neither
+            # blows through the budget nor leaks overshoot into the measured
+            # resident peak (the relieving swap_outs also precede the
+            # swap_in event in the trace).
+            resident = (s for s in self._states.values()
+                        if s.resident and not s.freed)
+            for directive in self.policy.directives_on_pressure(
+                    resident, self._resident_bytes + state.size, state):
+                self._evict(directive)
+        state.pending_ready_ns = None
+        state.resident = True
+        self._bump_resident(state.size)
+        self.swap_in_count += 1
+        self.bytes_swapped_in += nbytes
+        self.device.listeners.on_swap_in(state.block, nbytes, op)
+
+    def _evict(self, directive: EvictDirective) -> None:
+        """Execute one eviction directive (no-op if the block moved on)."""
+        state = self._states.get(directive.block_id)
+        if state is None or state.freed or not state.resident:
+            return
+        now = self.device.clock.now_ns
+        copy_bytes = (directive.copy_bytes if directive.copy_bytes is not None
+                      else state.size)
+        out = self.device.dma.async_device_to_host_at(
+            copy_bytes, now, tag=f"swap_out:{state.tag}")
+        self.copy_busy_ns += out.duration_ns
+        state.resident = False
+        state.swapped_copy_bytes = copy_bytes
+        state.gap_tainted = True
+        self._resident_bytes -= state.size
+        self.swap_out_count += 1
+        self.bytes_swapped_out += copy_bytes
+        if directive.prefetch_gap_ns is not None:
+            deadline = (state.last_access_ns + int(directive.prefetch_gap_ns)
+                        - self.prefetch_margin_ns)
+            # The copy-back can start no earlier than its own eviction copy
+            # finished (the host does not have the bytes before that).
+            back = self.device.dma.async_host_to_device_by(
+                copy_bytes, deadline, earliest_start_ns=max(now, out.end_ns),
+                tag=f"swap_prefetch:{state.tag}")
+            self.copy_busy_ns += back.duration_ns
+            state.pending_ready_ns = back.end_ns
+            self.prefetches_scheduled += 1
+        self.device.listeners.on_swap_out(state.block, copy_bytes,
+                                          self.policy.name)
+
+    def _flush_deferred(self) -> None:
+        """Run post-access evictions queued by the previous event."""
+        if not self._deferred:
+            return
+        pending, self._deferred = self._deferred, []
+        for directive in pending:
+            self._evict(directive)
+
+    def _bump_resident(self, size: int) -> None:
+        self._resident_bytes += size
+        if self._active and self._resident_bytes > self._peak_resident_active:
+            self._peak_resident_active = self._resident_bytes
+
+    def _bump_live(self, size: int) -> None:
+        self._live_bytes += size
+        if self._active and self._live_bytes > self._peak_live_active:
+            self._peak_live_active = self._live_bytes
+
+    def _sample_live(self) -> None:
+        """Record a (phase, live bytes) sample for the warm-up footprint profile."""
+        if self._learning_frozen or self._iteration_index is None:
+            return
+        phase = self.device.clock.now_ns - self._iteration_start_ns
+        self._iter_live_series.append((phase, self._live_bytes))
+        if self._live_bytes > self._iter_peak_live:
+            self._iter_peak_live = self._live_bytes
+            self._iter_peak_phase_ns = phase

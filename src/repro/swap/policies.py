@@ -1,0 +1,467 @@
+"""Execution policies for the closed-loop swap engine.
+
+A :class:`SwapExecutionPolicy` turns the executor's observations into
+eviction/prefetch *directives*.  The executor owns all mechanism — residency
+accounting, copy-stream scheduling, stall insertion, trace events — while the
+policy owns strategy: *which* blocks leave the device, *when*, and whether a
+prefetch is scheduled against a deadline or the block is left to a demand
+fetch.
+
+The plan-driven policies (``planner``, ``swap_advisor``) reuse the analytic
+machinery of :mod:`repro.core.swap` and :mod:`repro.baselines.swapping` for
+their selection, so their *predicted* numbers and the engine's *measured*
+numbers come from the same cost model — the predicted-vs-simulated
+regression in the test suite pins that agreement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..core.ati import AccessInterval
+from ..core.events import MemoryCategory, MemoryEventKind
+from ..core.swap import BandwidthConfig, SwapPlanner, swap_round_trip_ns
+from ..units import MIB
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids a cycle
+    from .executor import BlockState, WarmupObservations
+
+
+@dataclass(frozen=True)
+class EvictDirective:
+    """One eviction decision handed from a policy to the executor.
+
+    Attributes
+    ----------
+    block_id:
+        The block to evict.
+    prefetch_gap_ns:
+        When set, the executor schedules a host→device prefetch aiming to
+        complete ``prefetch_gap_ns`` after the block's last access (the
+        measured access-time interval).  When ``None`` the block is restored
+        by a demand fetch — a full synchronous stall — on its next access.
+    copy_bytes:
+        Bytes actually transferred per direction (defaults to the block
+        size).  ZeRO-style partitioning moves only ``size / world_size`` per
+        rank while the whole block still leaves the device footprint.
+    """
+
+    block_id: int
+    prefetch_gap_ns: Optional[int] = None
+    copy_bytes: Optional[int] = None
+
+
+class SwapExecutionPolicy:
+    """Base class: never evicts anything."""
+
+    #: Registry name (subclasses override).
+    name: str = "base"
+
+    def __init__(self) -> None:
+        #: The policy's predicted effect (a plan/estimator summary), filled by
+        #: :meth:`plan`; ``None`` for purely reactive policies such as LRU.
+        self.predicted: Optional[Dict[str, object]] = None
+
+    def plan(self, warmup: "WarmupObservations", bandwidths: BandwidthConfig) -> None:
+        """Digest the warm-up observations into triggers (called every replan)."""
+
+    def directive_after_access(self, state: "BlockState") -> Optional[EvictDirective]:
+        """Eviction decision right after an access to ``state`` completed."""
+        return None
+
+    def directives_at_iteration_end(
+            self, resident: Iterable["BlockState"]) -> List[EvictDirective]:
+        """Evictions to perform at an iteration boundary."""
+        return []
+
+    def directives_on_pressure(self, resident: Iterable["BlockState"],
+                               resident_bytes: int,
+                               just_allocated: "BlockState") -> List[EvictDirective]:
+        """Evictions to relieve memory pressure right after an allocation."""
+        return []
+
+
+def _covers_peak(state: "BlockState", peak_phase_ns: Optional[int],
+                 iteration_duration_ns: int) -> bool:
+    """Whether a block's best idle window covers the warm-up peak instant.
+
+    Phases are within-iteration offsets, so the comparison is invariant to
+    which iteration the gap was observed in.  A boundary-crossing window
+    covers the tail of its iteration plus (when long enough) the head of the
+    next one.
+    """
+    if peak_phase_ns is None:
+        return False
+    # Safety margin at the closing edge: a window that closes at (or only a
+    # hair before) the peak instant has its block back on the device by then
+    # — the swap-in precedes the closing access — so it cannot lower the
+    # peak.  Phases from different iterations carry small shape differences
+    # (the warm-up iteration lacks e.g. zero-grad writes), so marginal
+    # windows are rejected rather than credited with phantom savings.
+    margin = iteration_duration_ns // 50
+    start = state.best_gap_phase_ns
+    end = start + state.best_gap_ns
+    if not state.best_gap_crosses:
+        return start <= peak_phase_ns < end - margin
+    if peak_phase_ns >= start:
+        return True
+    return (iteration_duration_ns > 0
+            and peak_phase_ns < end - iteration_duration_ns - margin)
+
+
+def _predict_peak_after(windows: List[Tuple[int, int, int]],
+                        warmup: "WarmupObservations") -> int:
+    """Predicted peak footprint given per-block absence windows.
+
+    ``windows`` are ``(start_phase, end_phase, size)`` with phases measured
+    from the iteration start (``end_phase`` may exceed the iteration length
+    for boundary-crossing windows).  The prediction replays the warm-up
+    live-bytes profile and subtracts every window that covers each sampled
+    instant — so a *secondary* peak (e.g. the optimizer step, where every
+    swapped block is back on the device) correctly bounds the achievable
+    savings instead of the naive Σ-of-sizes estimate.
+    """
+    series = warmup.live_series or []
+    duration = warmup.iteration_duration_ns
+    if not series or duration <= 0:
+        total = sum(size for _, _, size in windows)
+        return max(0, warmup.peak_resident_bytes - total)
+    margin = duration // 50
+    worst = 0
+    for phase, live in series:
+        absent = 0
+        for start, end, size in windows:
+            if (start <= phase < end - margin) or (phase < end - duration - margin):
+                absent += size
+        if live - absent > worst:
+            worst = live - absent
+    return worst
+
+
+@dataclass(frozen=True)
+class _Trigger:
+    """How one selected block's eviction is fired during execution."""
+
+    gap_ns: int
+    ordinal: int          # opening-access ordinal (within-iteration windows)
+    at_iteration_end: bool
+
+
+def _build_triggers(chosen: Iterable["BlockState"]) -> Dict[int, _Trigger]:
+    """Map selected blocks to their eviction triggers.
+
+    Within-iteration windows fire right after the opening access (matched by
+    its per-iteration ordinal); boundary-crossing windows fire at
+    ``end_iteration``, where no further same-iteration access can misfire.
+    """
+    return {state.block_id: _Trigger(gap_ns=int(state.best_gap_ns),
+                                     ordinal=state.best_gap_ordinal,
+                                     at_iteration_end=state.best_gap_crosses)
+            for state in chosen}
+
+
+def _directive_for_access(triggers: Dict[int, _Trigger],
+                          state: "BlockState") -> Optional[EvictDirective]:
+    """Ordinal-triggered eviction with a prefetch against the learned gap."""
+    trigger = triggers.get(state.block_id)
+    if (trigger is None or trigger.at_iteration_end
+            or state.iter_access_count != trigger.ordinal):
+        return None
+    return EvictDirective(block_id=state.block_id,
+                          prefetch_gap_ns=trigger.gap_ns)
+
+
+def _directives_for_iteration_end(triggers: Dict[int, _Trigger],
+                                  resident: Iterable["BlockState"]) -> List[EvictDirective]:
+    """Boundary-window evictions: fire once the iteration's accesses are done."""
+    directives = []
+    for state in resident:
+        trigger = triggers.get(state.block_id)
+        if trigger is None or not trigger.at_iteration_end:
+            continue
+        directives.append(EvictDirective(block_id=state.block_id,
+                                         prefetch_gap_ns=trigger.gap_ns))
+    return directives
+
+
+def _interval_from_observation(state: "BlockState") -> AccessInterval:
+    """Adapt a warm-up observation to the planner's candidate record.
+
+    Only the fields the cost model reads (size, interval, identity, category,
+    tag) are meaningful; the event bookkeeping fields are synthesized.
+    """
+    return AccessInterval(
+        block_id=state.block_id,
+        size=state.size,
+        category=state.category,
+        tag=state.tag,
+        interval_ns=int(state.best_gap_ns),
+        start_event_id=-1,
+        end_event_id=-1,
+        start_kind=MemoryEventKind.READ,
+        end_kind=MemoryEventKind.READ,
+        iteration=0,
+    )
+
+
+class PlannerExecutionPolicy(SwapExecutionPolicy):
+    """Execute the Eq.-1 swap planner's selection (the paper's cost model).
+
+    The warm-up intervals are fed through the *same*
+    :class:`~repro.core.swap.SwapPlanner` as the offline analysis; each
+    selected candidate becomes a trigger (evict after the opening access,
+    prefetch back against the measured interval).
+    """
+
+    name = "planner"
+
+    def __init__(self, min_candidate_bytes: int = 32 * MIB,
+                 allow_overhead_ns: float = 0.0,
+                 copy_utilization_cap: float = 0.8):
+        super().__init__()
+        self.min_candidate_bytes = int(min_candidate_bytes)
+        self.allow_overhead_ns = float(allow_overhead_ns)
+        self.copy_utilization_cap = float(copy_utilization_cap)
+        self._triggers: Dict[int, _Trigger] = {}
+
+    def plan(self, warmup: "WarmupObservations", bandwidths: BandwidthConfig) -> None:
+        planner = SwapPlanner(bandwidths=bandwidths,
+                              min_candidate_bytes=self.min_candidate_bytes,
+                              allow_overhead_ns=self.allow_overhead_ns)
+        # Only windows that cover the peak instant can reduce the peak; the
+        # filter keeps the plan's predicted savings honest (Σ selected sizes
+        # all absent at the peak) instead of summing irrelevant idle time.
+        observed = [state for state in warmup.blocks
+                    if state.best_gap_ns > 0
+                    and _covers_peak(state, warmup.peak_phase_ns,
+                                     warmup.iteration_duration_ns)]
+        plan = planner.plan_from_intervals(
+            [_interval_from_observation(state) for state in observed],
+            peak_before=warmup.peak_resident_bytes)
+        # Eq. 1 is a per-candidate bound; the copy engine is one in-order
+        # stream, so the *aggregate* round-trip traffic per iteration must
+        # also fit or prefetches queue behind each other and miss their
+        # deadlines.  Accept candidates (best savings first) until the
+        # stream-utilization budget is spent.
+        budget_ns = self.copy_utilization_cap * warmup.iteration_duration_ns
+        kept = []
+        spent = 0.0
+        for candidate in plan.selected:
+            if spent + candidate.round_trip_ns > budget_ns:
+                continue
+            spent += candidate.round_trip_ns
+            kept.append(candidate)
+        kept_states = [warmup.by_id[candidate.interval.block_id]
+                       for candidate in kept]
+        self._triggers = _build_triggers(kept_states)
+        peak_after = _predict_peak_after(
+            [(state.best_gap_phase_ns,
+              state.best_gap_phase_ns + state.best_gap_ns, state.size)
+             for state in kept_states], warmup)
+        savings = max(0, plan.peak_bytes_before - peak_after)
+        self.predicted = {
+            "num_candidates": len(plan.candidates),
+            "num_selected": len(kept),
+            "peak_bytes_before": plan.peak_bytes_before,
+            "peak_bytes_after": peak_after,
+            "savings_bytes": savings,
+            "savings_fraction": (savings / plan.peak_bytes_before
+                                 if plan.peak_bytes_before else 0.0),
+            "total_overhead_ns": sum(candidate.overhead_ns for candidate in kept),
+            "copy_round_trip_ns": spent,
+        }
+
+    def directive_after_access(self, state: "BlockState") -> Optional[EvictDirective]:
+        return _directive_for_access(self._triggers, state)
+
+    def directives_at_iteration_end(
+            self, resident: Iterable["BlockState"]) -> List[EvictDirective]:
+        return _directives_for_iteration_end(self._triggers, resident)
+
+
+class SwapAdvisorExecutionPolicy(SwapExecutionPolicy):
+    """Size-ranked swapping (SwapAdvisor-style): largest blocks, timing-blind.
+
+    The ``top_k`` largest observed blocks are evicted after the access that
+    opens their largest idle interval, with a prefetch against that interval
+    — whatever transfer time the interval cannot hide becomes a *measured*
+    stall, mirroring the analytic estimator's charged overhead.
+    """
+
+    name = "swap_advisor"
+
+    def __init__(self, top_k: int = 5, min_block_bytes: int = 32 * MIB):
+        super().__init__()
+        self.top_k = int(top_k)
+        self.min_block_bytes = int(min_block_bytes)
+        self._triggers: Dict[int, _Trigger] = {}
+
+    def plan(self, warmup: "WarmupObservations", bandwidths: BandwidthConfig) -> None:
+        eligible = [state for state in warmup.blocks
+                    if state.size >= self.min_block_bytes and state.best_gap_ns > 0]
+        eligible.sort(key=lambda state: state.size, reverse=True)
+        chosen = eligible[:self.top_k]
+        self._triggers = _build_triggers(chosen)
+        overhead = sum(
+            max(0.0, swap_round_trip_ns(state.size, bandwidths) - state.best_gap_ns)
+            for state in chosen)
+        peak_after = _predict_peak_after(
+            [(state.best_gap_phase_ns,
+              state.best_gap_phase_ns + state.best_gap_ns, state.size)
+             for state in chosen], warmup)
+        savings = max(0, warmup.peak_resident_bytes - peak_after)
+        self.predicted = {
+            "num_selected": len(chosen),
+            "swapped_bytes": sum(state.size for state in chosen),
+            "peak_bytes_before": warmup.peak_resident_bytes,
+            "peak_bytes_after": peak_after,
+            "savings_bytes": savings,
+            "total_overhead_ns": overhead,
+        }
+
+    def directive_after_access(self, state: "BlockState") -> Optional[EvictDirective]:
+        return _directive_for_access(self._triggers, state)
+
+    def directives_at_iteration_end(
+            self, resident: Iterable["BlockState"]) -> List[EvictDirective]:
+        return _directives_for_iteration_end(self._triggers, resident)
+
+
+class ZeroOffloadExecutionPolicy(SwapExecutionPolicy):
+    """Offload optimizer state and gradients between iterations (ZeRO-style).
+
+    At the end of every iteration all resident optimizer-state and
+    parameter-gradient blocks are evicted; each comes back through a demand
+    fetch (a synchronous stall) on its next access.  On a data-parallel run
+    each rank only moves its ``1/world_size`` partition per direction while
+    the full block still leaves the device footprint — the executable twin
+    of the rank-aware analytic estimator.
+    """
+
+    name = "zero_offload"
+
+    OFFLOAD_CATEGORIES = (MemoryCategory.OPTIMIZER_STATE,
+                          MemoryCategory.PARAMETER_GRADIENT)
+
+    def __init__(self, world_size: int = 1):
+        super().__init__()
+        self.world_size = max(1, int(world_size))
+
+    def plan(self, warmup: "WarmupObservations", bandwidths: BandwidthConfig) -> None:
+        offloadable = [state for state in warmup.blocks
+                       if state.category in self.OFFLOAD_CATEGORIES]
+        swapped = sum(state.size for state in offloadable)
+        partition = -(-swapped // self.world_size) if swapped else 0
+        # Each block is absent from the end of the iteration until its first
+        # access in the next one (the synchronous demand fetch).
+        duration = warmup.iteration_duration_ns
+        peak_after = _predict_peak_after(
+            [(duration, duration + state.first_access_phase_ns, state.size)
+             for state in offloadable if state.first_access_phase_ns > 0],
+            warmup)
+        self.predicted = {
+            "num_selected": len(offloadable),
+            "swapped_bytes": swapped,
+            "peak_bytes_before": warmup.peak_resident_bytes,
+            "peak_bytes_after": peak_after,
+            "savings_bytes": max(0, warmup.peak_resident_bytes - peak_after),
+            "total_overhead_ns": swap_round_trip_ns(partition, bandwidths),
+            "world_size": self.world_size,
+            "partition_bytes": partition,
+        }
+
+    def directives_at_iteration_end(
+            self, resident: Iterable["BlockState"]) -> List[EvictDirective]:
+        directives = []
+        for state in resident:
+            if state.category in self.OFFLOAD_CATEGORIES:
+                partition = -(-state.size // self.world_size)
+                directives.append(EvictDirective(block_id=state.block_id,
+                                                 copy_bytes=partition))
+        return directives
+
+
+class LruExecutionPolicy(SwapExecutionPolicy):
+    """Online budget policy: evict least-recently-accessed blocks on pressure.
+
+    The budget defaults to ``budget_fraction`` of the warm-up peak (so the
+    policy always has something to do on any workload); an absolute
+    ``budget_bytes`` overrides it.  Evicted blocks are demand-fetched on
+    access — the stalls measure what a reactive pager costs on this workload.
+    """
+
+    name = "lru"
+
+    def __init__(self, budget_bytes: Optional[int] = None,
+                 budget_fraction: float = 0.7,
+                 min_block_bytes: int = 1 * MIB):
+        super().__init__()
+        self.budget_bytes = budget_bytes if budget_bytes is None else int(budget_bytes)
+        self.budget_fraction = float(budget_fraction)
+        self.min_block_bytes = int(min_block_bytes)
+        self._resolved_budget: Optional[int] = None
+
+    @property
+    def resolved_budget_bytes(self) -> Optional[int]:
+        """The budget in force (None before :meth:`plan` ran)."""
+        return self._resolved_budget
+
+    def plan(self, warmup: "WarmupObservations", bandwidths: BandwidthConfig) -> None:
+        if self.budget_bytes is not None:
+            self._resolved_budget = self.budget_bytes
+        else:
+            self._resolved_budget = int(warmup.peak_resident_bytes
+                                        * self.budget_fraction)
+        self.predicted = None  # reactive: there is no plan to predict from
+
+    def directives_on_pressure(self, resident: Iterable["BlockState"],
+                               resident_bytes: int,
+                               just_allocated: "BlockState") -> List[EvictDirective]:
+        budget = self._resolved_budget
+        if budget is None or resident_bytes <= budget:
+            return []
+        candidates = [state for state in resident
+                      if state.size >= self.min_block_bytes
+                      and state.block_id != just_allocated.block_id]
+        candidates.sort(key=lambda state: state.last_access_ns)
+        directives = []
+        excess = resident_bytes - budget
+        for state in candidates:
+            if excess <= 0:
+                break
+            directives.append(EvictDirective(block_id=state.block_id))
+            excess -= state.size
+        return directives
+
+
+#: Factories for every executable policy, keyed by the ``--swap`` axis value.
+EXECUTION_POLICIES: Dict[str, Callable[..., SwapExecutionPolicy]] = {
+    PlannerExecutionPolicy.name: PlannerExecutionPolicy,
+    SwapAdvisorExecutionPolicy.name: SwapAdvisorExecutionPolicy,
+    ZeroOffloadExecutionPolicy.name: ZeroOffloadExecutionPolicy,
+    LruExecutionPolicy.name: LruExecutionPolicy,
+}
+
+#: The value of the ``--swap`` axis that disables the engine entirely.
+SWAP_OFF = "off"
+
+
+def available_execution_policies() -> Tuple[str, ...]:
+    """Names of every executable swap policy (``off`` excluded)."""
+    return tuple(EXECUTION_POLICIES)
+
+
+def get_execution_policy(name: str, **kwargs) -> SwapExecutionPolicy:
+    """Instantiate an executable policy by registry name.
+
+    Raises ``ValueError`` with the list of known policies when unknown.
+    """
+    try:
+        factory = EXECUTION_POLICIES[name]
+    except KeyError:
+        known = ", ".join(available_execution_policies())
+        raise ValueError(
+            f"unknown swap execution policy '{name}'; known policies: {known}"
+        ) from None
+    return factory(**kwargs)

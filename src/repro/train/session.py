@@ -66,14 +66,16 @@ class TrainingRunConfig:
     n_devices: int = 1
     interconnect: str = "pcie_gen3"
     allreduce_algorithm: str = "ring"
+    swap: str = "off"
     label: str = ""
 
     def describe(self) -> str:
         """Short human-readable description used as a default label."""
         devices = f", n_devices={self.n_devices}" if self.n_devices > 1 else ""
+        swap = f", swap={self.swap}" if self.swap != "off" else ""
         return (f"{self.model} on {self.dataset} "
                 f"(batch={self.batch_size}, iters={self.iterations}, "
-                f"mode={self.execution_mode}{devices})")
+                f"mode={self.execution_mode}{devices}{swap})")
 
 
 @dataclass
@@ -97,6 +99,9 @@ class SessionResult:
     n_devices: int = 1
     collective: Optional[Dict[str, object]] = None
     rank_traces: Optional[List[MemoryTrace]] = None
+    #: Swap-execution outcome (rank-0 replica's summary dict plus the rank
+    #: count; replicas are symmetric) — ``None`` when ``config.swap`` is off.
+    swap_execution: Optional[Dict[str, object]] = None
 
     @property
     def label(self) -> str:
@@ -152,6 +157,29 @@ def _build_optimizer(config: TrainingRunConfig, model) -> Optimizer:
     raise ConfigurationError(f"unknown optimizer '{config.optimizer}'")
 
 
+def _build_swap_executors(config: TrainingRunConfig, group: DeviceGroup):
+    """One closed-loop swap executor per replica device (empty list when off).
+
+    Executors are attached *before* the profilers so that the stalls they
+    insert and the ``swap_in`` events they emit land ahead of the accesses
+    that needed them (see :mod:`repro.swap`).
+    """
+    if config.swap == "off":
+        return []
+    from ..swap import EXECUTION_POLICIES, SwapExecutor, get_execution_policy
+    if config.swap not in EXECUTION_POLICIES:
+        known = ", ".join(("off",) + tuple(EXECUTION_POLICIES))
+        raise ConfigurationError(
+            f"unknown swap mode '{config.swap}'; known modes: {known}")
+    kwargs = ({"world_size": len(group)} if config.swap == "zero_offload" else {})
+    executors = []
+    for device in group:
+        executor = SwapExecutor(device, get_execution_policy(config.swap, **kwargs))
+        device.attach_swap_executor(executor)
+        executors.append(executor)
+    return executors
+
+
 def run_training_session(config: TrainingRunConfig) -> SessionResult:
     """Run one profiled training session and return its trace and statistics."""
     if config.iterations <= 0:
@@ -164,6 +192,7 @@ def run_training_session(config: TrainingRunConfig) -> SessionResult:
             f"per device ({config.n_devices})")
     group = build_device_group(config)
     n_devices = len(group)
+    swap_executors = _build_swap_executors(config, group)
 
     base_metadata = {
         "workload": config.describe(),
@@ -176,6 +205,8 @@ def run_training_session(config: TrainingRunConfig) -> SessionResult:
     if n_devices > 1:
         base_metadata["interconnect"] = config.interconnect
         base_metadata["allreduce_algorithm"] = config.allreduce_algorithm
+    if config.swap != "off":
+        base_metadata["swap"] = config.swap
     profilers = [
         MemoryProfiler(device, metadata={**base_metadata, "device_rank": rank})
         for rank, device in enumerate(group)
@@ -201,13 +232,21 @@ def run_training_session(config: TrainingRunConfig) -> SessionResult:
         optimizers = [_build_optimizer(config, model) for model in models]
 
         trainer = DataParallelTrainer(group, models, loader, optimizers, loss_fns,
-                                      recorders=profilers)
+                                      recorders=profilers,
+                                      swap_executors=swap_executors or None)
         iteration_stats = trainer.train(config.iterations)
+        for executor in swap_executors:
+            executor.finalize()
     finally:
         for profiler in profilers:
             profiler.stop()
     rank_traces = [profiler.trace() for profiler in profilers]
     trace = merge_rank_traces(rank_traces)
+
+    swap_execution: Optional[Dict[str, object]] = None
+    if swap_executors:
+        swap_execution = swap_executors[0].summary().to_dict()
+        swap_execution["n_ranks"] = n_devices
 
     return SessionResult(
         config=config,
@@ -221,4 +260,5 @@ def run_training_session(config: TrainingRunConfig) -> SessionResult:
         n_devices=n_devices,
         collective=(trainer.collective_summary() if n_devices > 1 else None),
         rank_traces=(rank_traces if n_devices > 1 else None),
+        swap_execution=swap_execution,
     )

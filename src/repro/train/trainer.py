@@ -212,11 +212,18 @@ class DataParallelTrainer:
         Optional per-rank recorders (duck-typed ``begin_iteration`` /
         ``end_iteration``), e.g. one
         :class:`~repro.core.profiler.MemoryProfiler` per replica.
+    swap_executors:
+        Optional per-rank closed-loop swap engines
+        (:class:`~repro.swap.SwapExecutor`).  They receive the same iteration
+        boundaries as the recorders — begin *after* them (so replan-time
+        evictions are stamped with the new iteration) and end *before* them
+        (so boundary-window evictions land inside the closing iteration).
     """
 
     def __init__(self, group: DeviceGroup, models: Sequence[Module],
                  loader: DataLoader, optimizers: Sequence[Optimizer],
                  loss_fns: Sequence[Module], recorders: Optional[Sequence] = None,
+                 swap_executors: Optional[Sequence] = None,
                  post_iteration_host_ns: int = 1_000_000):
         n = len(group)
         if not (len(models) == len(optimizers) == len(loss_fns) == n):
@@ -226,12 +233,18 @@ class DataParallelTrainer:
         if recorders is not None and len(recorders) != n:
             raise ConfigurationError(
                 f"need one recorder per replica, got {len(recorders)} for {n}")
+        if swap_executors is not None and len(swap_executors) != n:
+            raise ConfigurationError(
+                f"need one swap executor per replica, got {len(swap_executors)} "
+                f"for {n}")
         self.group = group
         self.models = list(models)
         self.loader = loader
         self.optimizers = list(optimizers)
         self.loss_fns = list(loss_fns)
         self.recorders = list(recorders) if recorders is not None else []
+        self.swap_executors = (list(swap_executors)
+                               if swap_executors is not None else [])
         self.post_iteration_host_ns = int(post_iteration_host_ns)
         self.history: List[IterationStats] = []
         self.collective_records: List[CollectiveRecord] = []
@@ -280,6 +293,8 @@ class DataParallelTrainer:
         """Run one data-parallel iteration; returns the aggregated statistics."""
         for recorder in self.recorders:
             recorder.begin_iteration(index)
+        for executor in self.swap_executors:
+            executor.begin_iteration(index)
         start_ns = min(device.clock.now_ns for device in self.group)
 
         # 1. One global host-side batch, sharded across the replicas.  Every
@@ -329,6 +344,8 @@ class DataParallelTrainer:
             reserved_bytes_end=max(device.reserved_bytes for device in self.group),
         )
         self.history.append(stats)
+        for executor in self.swap_executors:
+            executor.end_iteration(index)
         for recorder in self.recorders:
             recorder.end_iteration(index)
         return stats

@@ -37,9 +37,10 @@ def test_report_contains_every_figure_page(files):
     assert "EXPERIMENTS.md" in files
     slugs = {f"docs/figures/{page}" for page in (
         "fig2_gantt.md", "fig3_ati.md", "fig4_outliers.md", "fig5_breakdown.md",
-        "fig6_alexnet.md", "fig7_resnet.md", "ablations.md", "scaling.md")}
+        "fig6_alexnet.md", "fig7_resnet.md", "ablations.md", "scaling.md",
+        "swap_execution.md")}
     assert slugs <= set(files)
-    assert len(FIGURE_BUILDERS) == 8
+    assert len(FIGURE_BUILDERS) == 9
 
 
 def test_scaling_page_reports_replica_axis(files):
@@ -50,6 +51,16 @@ def test_scaling_page_reports_replica_axis(files):
     assert "![scaling peak](svg/scaling_peak.svg)" in scaling
     svg = files["docs/figures/svg/scaling_step.svg"]
     assert svg.startswith("<svg ")
+
+
+def test_swap_execution_page_reports_predicted_vs_simulated(files):
+    page = files["docs/figures/swap_execution.md"]
+    assert "--swap" in page
+    assert "measured_savings_mib" in page
+    assert "predicted_savings_mib" in page
+    assert "stall_ms_per_iter" in page
+    assert "![swap savings](svg/swap_execution_savings.svg)" in page
+    assert files["docs/figures/svg/swap_execution_stalls.svg"].startswith("<svg ")
 
 
 def test_report_tables_expose_the_new_sweep_axes(files):

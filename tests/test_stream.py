@@ -52,3 +52,78 @@ def test_stream_ops_get_default_names():
     assert stream.ops[0].name == "s-op0"
     assert stream.ops[1].name == "named"
     assert stream.ops[1].duration_ns == 1
+
+
+# -- schedule_at: the start-before-busy_until edge case ---------------------------------
+
+
+def test_schedule_at_never_moves_time_backwards():
+    """An earliest-start before the stream horizon clamps forward, never back."""
+    clock = DeviceClock()
+    stream = Stream("copy", clock)
+    stream.schedule(100)                       # busy until 100
+    start, end = stream.schedule_at(40, 10)    # asks to start in the busy past
+    assert (start, end) == (100, 110)
+    assert stream.busy_until_ns == 110
+    assert stream.idle_time_ns() == 0
+
+
+def test_schedule_at_honors_future_start():
+    clock = DeviceClock()
+    stream = Stream("copy", clock)
+    start, end = stream.schedule_at(500, 20)
+    assert (start, end) == (500, 520)
+    # a follow-up plain schedule queues after the future reservation
+    start2, _ = stream.schedule(5)
+    assert start2 == 520
+
+
+def test_schedule_at_rejects_negative_duration():
+    stream = Stream("copy", DeviceClock())
+    with pytest.raises(ValueError):
+        stream.schedule_at(0, -1)
+
+
+def test_schedule_at_keeps_op_order_monotonic():
+    """Interleaving past and future earliest-starts keeps starts sorted."""
+    stream = Stream("copy", DeviceClock())
+    starts = [stream.schedule_at(t, 10)[0] for t in (50, 10, 200, 100)]
+    assert starts == sorted(starts)
+    assert starts == [50, 60, 200, 210]
+
+
+# -- reserve / reserve_before: gap-filling copy-engine reservations ---------------------
+
+
+def test_reserve_backfills_idle_gaps():
+    stream = Stream("copy", DeviceClock())
+    stream.schedule_at(100, 50)                 # busy [100, 150)
+    start, end = stream.reserve(0, 30)          # fits before the reservation
+    assert (start, end) == (0, 30)
+    start2, end2 = stream.reserve(0, 80)        # does not fit in [30, 100)
+    assert (start2, end2) == (150, 230)
+    assert stream.busy_until_ns == 230
+
+
+def test_reserve_before_places_latest_fit_meeting_deadline():
+    stream = Stream("copy", DeviceClock())
+    first = stream.reserve_before(1000, 100)
+    assert first == (900, 1000)
+    # same deadline: the second transfer stacks backwards in time
+    second = stream.reserve_before(1000, 100)
+    assert second == (800, 900)
+
+
+def test_reserve_before_falls_back_when_deadline_unmeetable():
+    stream = Stream("copy", DeviceClock())
+    stream.reserve(0, 100)                      # busy [0, 100)
+    start, end = stream.reserve_before(50, 80, earliest_start_ns=0)
+    assert start >= 100                         # late, via earliest-fit
+    assert end - start == 80
+
+
+def test_reserve_before_respects_earliest_start():
+    stream = Stream("copy", DeviceClock())
+    start, end = stream.reserve_before(1000, 100, earliest_start_ns=950)
+    # the window [950, 1000) cannot hold 100ns; earliest-fit from 950
+    assert (start, end) == (950, 1050)

@@ -18,11 +18,19 @@ Each mode executes in its own child process so that peak-RSS measurements do
 not bleed across modes (``ru_maxrss`` is a process-lifetime high-water mark)
 and so that every mode pays the same interpreter/import cost.
 
+A mode may carry the ``+swap`` suffix (e.g. ``symbolic+swap``): the same
+grid then runs under the closed-loop swap-execution engine
+(``--swap zero_offload`` — the always-active policy, so every scenario
+exercises the eviction/demand-fetch/trace paths), which is how
+``BENCH_sweep.json`` tracks swap-execution throughput next to the plain
+sweep throughput.
+
 Usage::
 
     python tools/bench.py                       # both modes, quick grid
     python tools/bench.py --grid full           # adds conv models
     python tools/bench.py --modes symbolic      # symbolic only (CI smoke)
+    python tools/bench.py --modes symbolic+swap # swap-execution throughput
     python tools/bench.py --budget-s 300        # fail if the run exceeds it
 
 ``make bench`` runs the default configuration and leaves ``BENCH_sweep.json``
@@ -69,22 +77,37 @@ REFERENCE_GRIDS = {
 }
 
 
-def reference_scenarios(grid_name: str, execution_mode: str):
-    """Expand the named reference grid for one execution mode."""
+#: Executable swap policy used by ``+swap`` bench modes (zero_offload always
+#: has optimizer state to move, so every scenario exercises the engine).
+SWAP_BENCH_POLICY = "zero_offload"
+
+
+def parse_mode(mode: str):
+    """Split a bench mode token into (execution_mode, swap_mode)."""
+    base, _, suffix = mode.partition("+")
+    if suffix not in ("", "swap"):
+        raise ValueError(f"unknown bench mode suffix '+{suffix}'")
+    return base, (SWAP_BENCH_POLICY if suffix == "swap" else "off")
+
+
+def reference_scenarios(grid_name: str, mode: str):
+    """Expand the named reference grid for one bench mode."""
     from repro.experiments.sweep import SweepGrid
 
+    execution_mode, swap = parse_mode(mode)
     scenarios = []
     for kwargs in REFERENCE_GRIDS[grid_name]:
         scenarios.extend(
-            SweepGrid(execution_mode=execution_mode, **kwargs).expand())
+            SweepGrid(execution_mode=execution_mode, swaps=(swap,),
+                      **kwargs).expand())
     return scenarios
 
 
-def run_mode(grid_name: str, execution_mode: str, workers: int) -> dict:
+def run_mode(grid_name: str, mode: str, workers: int) -> dict:
     """Run the reference grid in one mode (no caching) and measure it."""
     from repro.experiments.sweep import SweepRunner
 
-    scenarios = reference_scenarios(grid_name, execution_mode)
+    scenarios = reference_scenarios(grid_name, mode)
     with SweepRunner(cache_dir=None, workers=workers, use_cache=False) as runner:
         started = time.perf_counter()
         sweep = runner.run(scenarios)
@@ -97,7 +120,7 @@ def run_mode(grid_name: str, execution_mode: str, workers: int) -> dict:
         resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
         resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss)
     return {
-        "execution_mode": execution_mode,
+        "execution_mode": mode,
         "scenarios": len(sweep.results),
         "wall_s": round(wall_s, 4),
         "scenarios_per_s": round(len(sweep.results) / wall_s, 3),
@@ -155,7 +178,11 @@ def main(argv=None) -> int:
 
     modes = [mode.strip() for mode in args.modes.split(",") if mode.strip()]
     for mode in modes:
-        if mode not in ("eager", "symbolic", "virtual"):
+        try:
+            base, _ = parse_mode(mode)
+        except ValueError as error:
+            parser.error(str(error))
+        if base not in ("eager", "symbolic", "virtual"):
             parser.error(f"unknown execution mode '{mode}'")
 
     started = time.perf_counter()
@@ -194,6 +221,19 @@ def main(argv=None) -> int:
         }
         print(f"symbolic/eager speedup: "
               f"{report['speedup']['scenarios_per_s']}x scenarios/s")
+    if "symbolic" in mode_reports and "symbolic+swap" in mode_reports:
+        plain = mode_reports["symbolic"]
+        swapped = mode_reports["symbolic+swap"]
+        report["swap_overhead"] = {
+            "swap_policy": SWAP_BENCH_POLICY,
+            "scenarios_per_s_ratio": round(
+                swapped["scenarios_per_s"] / plain["scenarios_per_s"], 3),
+            "events_ratio": round(
+                swapped["events_total"] / plain["events_total"], 3),
+        }
+        print(f"swap-execution throughput: "
+              f"{report['swap_overhead']['scenarios_per_s_ratio']}x of plain "
+              f"symbolic scenarios/s")
 
     out = Path(args.out)
     out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
