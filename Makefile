@@ -1,21 +1,21 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test bench bench-smoke bench-suite report docs-check sweep-smoke sweep-scaling swap-smoke clean-cache
+.PHONY: test bench bench-smoke bench-suite report docs-check sweep-smoke sweep-scaling swap-smoke replay-smoke clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
 
-# Record the sweep-throughput trajectory: run the reference grid in both
-# execution modes plus the swap-execution row and write BENCH_sweep.json
-# (see docs/performance.md).
+# Record the sweep-throughput trajectory: run the reference grid in every
+# execution mode (eager, symbolic, template replay) plus the swap-execution
+# row and write BENCH_sweep.json (see docs/performance.md).
 bench:
-	$(PYTHON) tools/bench.py --grid full --modes eager,symbolic,symbolic+swap
+	$(PYTHON) tools/bench.py --grid full --modes eager,symbolic,replay,symbolic+swap
 
-# Fast symbolic-only benchmark with a wall-clock budget (the CI smoke job);
-# includes the swap-execution throughput row.
+# Fast eager-free benchmark with a wall-clock budget (the CI smoke job);
+# includes the template-replay and swap-execution throughput rows.
 bench-smoke:
-	$(PYTHON) tools/bench.py --grid quick --modes symbolic,symbolic+swap \
+	$(PYTHON) tools/bench.py --grid quick --modes symbolic,replay,symbolic+swap \
 		--budget-s 300 --out BENCH_smoke.json
 
 # The qualitative paper-claim benchmark suite (pytest-based, seconds-scale).
@@ -38,6 +38,14 @@ sweep-smoke:
 swap-smoke:
 	$(PYTHON) -m repro sweep --models mlp --batch-sizes 512 --iterations 5 \
 		--swap off,planner,swap_advisor,zero_offload,lru --no-cache
+
+# Template-replay smoke (the CI replay-smoke leg): the equivalence suite
+# plus a small --execution replay sweep that compiles one template and
+# re-prices it across device specs.
+replay-smoke:
+	$(PYTHON) -m pytest tests/test_replay_equivalence.py -q
+	$(PYTHON) -m repro sweep --models mlp --batch-sizes 32 --execution replay \
+		--devices titan_x_pascal,v100_sxm2_16gb --no-cache
 
 # Run the data-parallel scaling grid and regenerate the scaling report page
 # (docs/figures/scaling.md + its SVGs) from the cached results.

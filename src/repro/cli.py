@@ -144,10 +144,13 @@ def _build_parser() -> argparse.ArgumentParser:
                        choices=sorted(DATASET_PRESETS))
     sweep.add_argument("--execution", "--execution-mode", dest="execution_mode",
                        default="symbolic",
-                       choices=("eager", "symbolic", "virtual"),
+                       choices=("eager", "symbolic", "virtual", "replay"),
                        help="eager computes real values; symbolic (the "
                             "default, legacy name: virtual) skips the "
-                            "numerics but records identical events/timing")
+                            "numerics but records identical events/timing; "
+                            "replay compiles each structure once and "
+                            "re-prices the grid from trace templates "
+                            "(bit-identical to symbolic)")
     sweep.add_argument("--input-size", type=int, default=None,
                        help="model input resolution (conv models only)")
     sweep.add_argument("--num-classes", type=int, default=None)
@@ -390,9 +393,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(json_module.dumps(result.rows(), indent=2, default=str))
     else:
         print(result.summary_table())
+    replay_note = (f", {result.replayed} replayed from "
+                   f"{result.templates_compiled} template(s)"
+                   if result.replayed else "")
     print(f"\n{len(result)} scenario(s) in {result.wall_time_s:.2f}s "
-          f"({result.cache_hits} cached, {result.cache_misses} executed, "
-          f"workers={args.workers}, cache={cache_dir})")
+          f"({result.cache_hits} cached, {result.cache_misses} executed"
+          f"{replay_note}, workers={args.workers}, cache={cache_dir})")
     return 0
 
 

@@ -16,6 +16,7 @@ iteration boundaries (for the iterative-pattern analysis).
 
 from __future__ import annotations
 
+from array import array
 from typing import Dict, List, Optional
 
 from ..device.clock import DeviceClock
@@ -46,6 +47,15 @@ class TraceRecorder(MemoryEventListener):
         self._open_lifetimes: Dict[int, BlockLifetime] = {}
         self._current_iteration = -1
         self.enabled = True
+        # Template capture: when a timing tape is attached to the clock, the
+        # recorder notes each event's position in the tape (the number of
+        # timing atoms that precede it) so the replay engine can re-derive
+        # event timestamps from re-priced atom durations.
+        self._tape = getattr(clock, "tape", None)
+        self.event_tape_positions = array("q") if self._tape is not None else None
+        #: Per-iteration ``[begin, end]`` tape positions (parallel to
+        #: ``iteration_marks``; end is -1 until the iteration closes).
+        self.mark_tape_spans: List[List[int]] = []
 
     # -- iteration bookkeeping ------------------------------------------------------
 
@@ -58,12 +68,18 @@ class TraceRecorder(MemoryEventListener):
         """Mark the start of training iteration ``index``."""
         self._current_iteration = index
         self.iteration_marks.append(IterationMark(index=index, start_ns=self.clock.now_ns))
+        if self.event_tape_positions is not None:
+            self.mark_tape_spans.append([len(self._tape), -1])
 
     def end_iteration(self, index: int) -> None:
         """Mark the end of training iteration ``index``."""
-        for mark in reversed(self.iteration_marks):
+        for position in range(len(self.iteration_marks) - 1, -1, -1):
+            mark = self.iteration_marks[position]
             if mark.index == index and mark.end_ns is None:
                 mark.end_ns = self.clock.now_ns
+                if (self.event_tape_positions is not None
+                        and position < len(self.mark_tape_spans)):
+                    self.mark_tape_spans[position][1] = len(self._tape)
                 break
         self._current_iteration = -1
 
@@ -78,6 +94,7 @@ class TraceRecorder(MemoryEventListener):
         if not self.enabled:
             return
         now_ns = self.clock.now_ns
+        self._note_tape_position()
         self.log.append(_MALLOC, now_ns, block.block_id, block.address, block.size,
                         CATEGORY_CODES[block.category], self._current_iteration,
                         block.tag, "")
@@ -97,6 +114,7 @@ class TraceRecorder(MemoryEventListener):
         if not self.enabled:
             return
         now_ns = self.clock.now_ns
+        self._note_tape_position()
         self.log.append(_FREE, now_ns, block.block_id, block.address, block.size,
                         CATEGORY_CODES[block.category], self._current_iteration,
                         block.tag, "")
@@ -107,6 +125,7 @@ class TraceRecorder(MemoryEventListener):
     def on_read(self, block, nbytes: int, op: str) -> None:
         if not self.enabled:
             return
+        self._note_tape_position()
         self.log.append(_READ, self.clock.now_ns, block.block_id, block.address,
                         block.size, CATEGORY_CODES[block.category],
                         self._current_iteration, block.tag, op)
@@ -115,6 +134,7 @@ class TraceRecorder(MemoryEventListener):
     def on_write(self, block, nbytes: int, op: str) -> None:
         if not self.enabled:
             return
+        self._note_tape_position()
         self.log.append(_WRITE, self.clock.now_ns, block.block_id, block.address,
                         block.size, CATEGORY_CODES[block.category],
                         self._current_iteration, block.tag, op)
@@ -123,6 +143,7 @@ class TraceRecorder(MemoryEventListener):
     def on_segment_alloc(self, segment) -> None:
         if not self.enabled:
             return
+        self._note_tape_position()
         self.log.append(_SEGMENT_ALLOC, self.clock.now_ns, -segment.segment_id,
                         segment.address, segment.size, _UNKNOWN_CATEGORY,
                         self._current_iteration, f"segment:{segment.pool}", "")
@@ -130,6 +151,7 @@ class TraceRecorder(MemoryEventListener):
     def on_segment_free(self, segment) -> None:
         if not self.enabled:
             return
+        self._note_tape_position()
         self.log.append(_SEGMENT_FREE, self.clock.now_ns, -segment.segment_id,
                         segment.address, segment.size, _UNKNOWN_CATEGORY,
                         self._current_iteration, f"segment:{segment.pool}", "")
@@ -137,6 +159,7 @@ class TraceRecorder(MemoryEventListener):
     def on_swap_out(self, block, nbytes: int, op: str) -> None:
         if not self.enabled:
             return
+        self._note_tape_position()
         self.log.append(_SWAP_OUT, self.clock.now_ns, block.block_id, block.address,
                         block.size, CATEGORY_CODES[block.category],
                         self._current_iteration, block.tag, op)
@@ -144,9 +167,14 @@ class TraceRecorder(MemoryEventListener):
     def on_swap_in(self, block, nbytes: int, op: str) -> None:
         if not self.enabled:
             return
+        self._note_tape_position()
         self.log.append(_SWAP_IN, self.clock.now_ns, block.block_id, block.address,
                         block.size, CATEGORY_CODES[block.category],
                         self._current_iteration, block.tag, op)
+
+    def _note_tape_position(self) -> None:
+        if self.event_tape_positions is not None:
+            self.event_tape_positions.append(len(self._tape))
 
     def _bump_access(self, block_id: int) -> None:
         lifetime = self._open_lifetimes.get(block_id)

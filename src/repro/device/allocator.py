@@ -184,6 +184,18 @@ class BaseAllocator:
 
     # -- shared helpers ---------------------------------------------------------
 
+    def _advance_alloc_overhead(self) -> None:
+        """Pay the per-malloc/free bookkeeping cost (tape-annotated)."""
+        if self.clock.tape is not None:
+            self.clock.tape.record_alloc_overhead(self.spec.allocator_overhead_ns)
+        self.clock.advance(self.spec.allocator_overhead_ns)
+
+    def _advance_segment_overhead(self) -> None:
+        """Pay the simulated ``cudaMalloc``/``cudaFree`` cost (tape-annotated)."""
+        if self.clock.tape is not None:
+            self.clock.tape.record_segment_overhead(self.spec.cuda_malloc_overhead_ns)
+        self.clock.advance(self.spec.cuda_malloc_overhead_ns)
+
     def set_listener(self, listener: MemoryEventListener) -> None:
         """Replace the event listener (used when attaching a profiler)."""
         self.listener = listener
@@ -259,7 +271,7 @@ class BaseAllocator:
         segment = Segment(address=address, size=size, pool=pool)
         self._segments.append(segment)
         self.stats.on_reserve(size)
-        self.clock.advance(self.spec.cuda_malloc_overhead_ns)
+        self._advance_segment_overhead()
         self.listener.on_segment_alloc(segment)
         return segment
 
@@ -267,7 +279,7 @@ class BaseAllocator:
         """Release a fully free segment back to the device (simulated ``cudaFree``)."""
         self._segments.remove(segment)
         self.stats.on_release(segment.size)
-        self.clock.advance(self.spec.cuda_malloc_overhead_ns)
+        self._advance_segment_overhead()
         self.listener.on_segment_free(segment)
 
     def _publish_alloc(self, block: Block, requested_size: int,
@@ -322,7 +334,7 @@ class CachingAllocator(BaseAllocator):
     ) -> Block:
         rounded = round_block_size(size)
         pool = "small" if rounded <= SMALL_ALLOCATION_LIMIT else "large"
-        self.clock.advance(self.spec.allocator_overhead_ns)
+        self._advance_alloc_overhead()
 
         block = self._find_free_block(pool, rounded)
         if block is not None:
@@ -383,7 +395,7 @@ class CachingAllocator(BaseAllocator):
     # -- free -------------------------------------------------------------------
 
     def free(self, block: Block) -> None:
-        self.clock.advance(self.spec.allocator_overhead_ns)
+        self._advance_alloc_overhead()
         self._publish_free(block)
         pool = block.segment.pool
         block = self._coalesce(block, pool)
@@ -470,7 +482,7 @@ class BestFitAllocator(BaseAllocator):
         tag: str = "",
     ) -> Block:
         rounded = round_block_size(size)
-        self.clock.advance(self.spec.allocator_overhead_ns)
+        self._advance_alloc_overhead()
         best = self._free_index.take_best_fit(rounded)
         if best is None:
             raise OutOfMemoryError(
@@ -497,7 +509,7 @@ class BestFitAllocator(BaseAllocator):
         return self._publish_alloc(best, requested_size=size, category=category, tag=tag)
 
     def free(self, block: Block) -> None:
-        self.clock.advance(self.spec.allocator_overhead_ns)
+        self._advance_alloc_overhead()
         self._publish_free(block)
         nxt = block.next
         if nxt is not None and not nxt.allocated:
@@ -547,7 +559,7 @@ class BumpAllocator(BaseAllocator):
         tag: str = "",
     ) -> Block:
         rounded = round_block_size(size)
-        self.clock.advance(self.spec.allocator_overhead_ns)
+        self._advance_alloc_overhead()
         if self._cursor + rounded > self.spec.memory_capacity:
             raise OutOfMemoryError(
                 requested=rounded,
@@ -562,7 +574,7 @@ class BumpAllocator(BaseAllocator):
         return self._publish_alloc(block, requested_size=size, category=category, tag=tag)
 
     def free(self, block: Block) -> None:
-        self.clock.advance(self.spec.allocator_overhead_ns)
+        self._advance_alloc_overhead()
         self._publish_free(block)
 
     def reset(self) -> None:

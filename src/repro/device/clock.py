@@ -26,6 +26,9 @@ class DeviceClock:
             raise ClockError(f"clock cannot start at negative time {start_ns}")
         self._now_ns = int(start_ns)
         self._observers: List[Callable[[int, int], None]] = []
+        #: Optional :class:`~repro.device.tape.TimingTape` capturing why each
+        #: advance happened (set by the tape itself when it attaches).
+        self.tape = None
 
     @property
     def now_ns(self) -> int:

@@ -245,7 +245,11 @@ class DeviceGroup:
         """Drain every replica's streams and barrier all clocks; returns the time."""
         latest = max(device.synchronize() for device in self.devices)
         for device in self.devices:
-            device.clock.advance_to(latest)
+            clock = device.clock
+            if clock.tape is not None:
+                from .tape import TAPE_BARRIER
+                clock.tape.record_sync(TAPE_BARRIER, 0, latest - clock.now_ns)
+            clock.advance_to(latest)
         return latest
 
     def peak_allocated_bytes(self) -> int:

@@ -24,6 +24,7 @@ from typing import Dict, List, Sequence
 
 from .clock import DeviceClock
 from .cluster import ClusterSpec
+from .tape import TAPE_ALLREDUCE
 
 
 @dataclass(frozen=True)
@@ -90,6 +91,9 @@ class CollectiveEngine:
         duration = self.cluster.allreduce_time_ns(nbytes)
         end = start + duration
         for clock in self.clocks:
+            if clock.tape is not None:
+                clock.tape.record_sync(TAPE_ALLREDUCE, int(nbytes),
+                                       end - clock.now_ns)
             clock.advance_to(end)
         record = CollectiveRecord(
             kind="allreduce", nbytes=int(nbytes), start_ns=start, end_ns=end,

@@ -175,6 +175,8 @@ class Device:
         """Account for the execution of one kernel; returns its duration in ns."""
         duration = self.timing.op_duration_ns(cost)
         self.compute_stream.schedule(duration, name=cost.name)
+        if self.clock.tape is not None:
+            self.clock.tape.record_kernel(cost, duration)
         self.clock.advance(duration)
         self.kernel_count += 1
         return duration
@@ -188,6 +190,8 @@ class Device:
         """
         if duration_ns < 0:
             raise ConfigurationError("host_pause duration must be non-negative")
+        if self.clock.tape is not None:
+            self.clock.tape.record_const(duration_ns)
         self.clock.advance(duration_ns)
 
     def copy_host_to_device(self, nbytes: int, tag: str = "") -> int:

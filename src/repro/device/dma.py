@@ -81,6 +81,8 @@ class DmaEngine:
                           tag: str) -> CopyRecord:
         duration = self.timing.memcpy_duration_ns(nbytes, bandwidth)
         start = self.clock.now_ns
+        if self.clock.tape is not None:
+            self.clock.tape.record_memcpy(direction, nbytes, duration)
         self.clock.advance(duration)
         record = CopyRecord(direction=direction, nbytes=nbytes, start_ns=start,
                             end_ns=self.clock.now_ns, tag=tag)

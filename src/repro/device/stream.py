@@ -39,7 +39,14 @@ class StreamOp:
 
 
 class Stream:
-    """An in-order queue of device operations with its own completion horizon."""
+    """An in-order queue of device operations with its own completion horizon.
+
+    Zero-duration operations (empty transfers, degenerate reservations) are
+    recorded in the op history but never move ``busy_until_ns``: an op that
+    occupies no time must not make the engine look busy at a future instant,
+    or a far-deadline zero-byte prefetch would serialize real copies behind
+    an empty slot.
+    """
 
     def __init__(self, name: str, clock: DeviceClock):
         self.name = name
@@ -79,7 +86,8 @@ class Stream:
             raise ValueError("duration_ns must be non-negative")
         start = max(int(earliest_start_ns), self.busy_until_ns)
         end = start + int(duration_ns)
-        self.busy_until_ns = end
+        if end > start:
+            self.busy_until_ns = end
         self._append_op(start, end, name)
         return start, end
 
@@ -129,7 +137,8 @@ class Stream:
             if busy_end > start:
                 start = busy_end
         end = start + duration
-        self.busy_until_ns = max(self.busy_until_ns, end)
+        if end > start:
+            self.busy_until_ns = max(self.busy_until_ns, end)
         self._append_op(start, end, name)
         return start, end
 
@@ -167,7 +176,8 @@ class Stream:
         if best_start is None:
             return self.reserve(earliest, duration, name=name)
         end = best_start + duration
-        self.busy_until_ns = max(self.busy_until_ns, end)
+        if end > best_start:
+            self.busy_until_ns = max(self.busy_until_ns, end)
         self._append_op(best_start, end, name)
         return best_start, end
 

@@ -1,0 +1,901 @@
+"""Trace-template replay: compile one structure, re-price thousands of scenarios.
+
+Symbolic execution (PR 4) made a run's *event structure* — which blocks are
+allocated, accessed and freed, in which order, at which addresses — a pure
+function of the workload (model, batch size, allocator, replica count),
+while simulated *time* is that structure priced under the timing axes
+(device spec, host dispatch overhead, interconnect).  A sweep over pricing
+axes therefore re-simulates the same structure over and over, only to
+multiply different constants into the same event stream.
+
+This module splits the two:
+
+* :func:`compile_template` runs the simulation **once** per structure with a
+  :class:`~repro.device.tape.TimingTape` attached to every replica clock,
+  and captures a :class:`TraceTemplate`: the columnar event log, the timing
+  atoms behind every clock advance, the event→atom correspondence, block
+  lifetimes, iteration spans, and the structural scalars (peaks, parameter
+  bytes, allocator counters).
+* :meth:`TraceTemplate.replay` re-derives every timestamp for a *different*
+  pricing point as a handful of vectorized NumPy transforms — re-price the
+  atoms from the target device spec, resolve cross-rank collectives with
+  barrier semantics, gather event times by tape position — and reduces the
+  result to the exact :class:`~repro.experiments.sweep.ScenarioResult` a
+  fresh simulation would produce.  No kernels run, no allocator decisions
+  are replayed; ``tests/test_replay_equivalence.py`` pins bit-identical
+  equality against fresh symbolic runs.
+* :class:`ReplayEngine` memoizes templates (in memory, and optionally as
+  content-hashed ``.npz`` files next to the sweep cache) and prices
+  scenarios on demand; :class:`~repro.experiments.sweep.SweepRunner` routes
+  ``--execution replay`` scenarios through it, falling back to a fresh
+  symbolic run whenever a template is structurally invalid for the target
+  (different memory capacity that changed allocator behavior, inconsistent
+  capture, swap engine on).
+
+Single-rank swap-off scenarios take an additional fast path: the ATI
+pairing, the occupation breakdown's cumulative sums and the live-bytes peak
+are *structural* for a single rank (their event order never depends on
+timestamps), so they are precomputed at compile time and a replay only
+recomputes the interval gaps, the distribution summary and Eq.-1 screening
+— microseconds instead of milliseconds per scenario.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.ati import IntervalArrays, compute_interval_arrays, summarize_values_us
+from ..core.breakdown import occupation_breakdown
+from ..core.events import BlockLifetime, IterationMark, MemoryEventKind
+from ..core.swap import BandwidthConfig, swappable_fraction
+from ..core.trace import CATEGORY_FROM_CODE, KIND_CODES, EventColumns, MemoryTrace, merge_rank_traces
+from ..device.spec import get_device_spec
+from ..device.tape import (
+    SYNC_KINDS,
+    TAPE_ALLOC_OVERHEAD,
+    TAPE_ALLREDUCE,
+    TAPE_CONST,
+    TAPE_KERNEL,
+    TAPE_MEMCPY_D2H,
+    TAPE_MEMCPY_H2D,
+    TAPE_SEGMENT_OVERHEAD,
+    TimingTape,
+)
+from ..train.session import (
+    SessionResult,
+    TrainingRunConfig,
+    build_cluster,
+    run_training_session,
+)
+from ..train.trainer import IterationStats
+
+#: Version of the persisted template format; bump to invalidate stored templates.
+TEMPLATE_SCHEMA_VERSION = 1
+
+_SEGMENT_FREE_CODE = KIND_CODES[MemoryEventKind.SEGMENT_FREE]
+_MALLOC_CODE = KIND_CODES[MemoryEventKind.MALLOC]
+_FREE_CODE = KIND_CODES[MemoryEventKind.FREE]
+
+#: Config fields that price a run without changing its structure.  They are
+#: excluded from the template identity, so one compiled structure serves
+#: every combination of them.
+PRICING_FIELDS = ("label", "device_spec", "host_dispatch_overhead_ns",
+                  "interconnect", "allreduce_algorithm", "device_memory_capacity")
+
+
+class TemplateError(Exception):
+    """A capture cannot be turned into (or served as) a replayable template."""
+
+
+# -- template identity ----------------------------------------------------------------
+
+
+def template_fingerprint(config: TrainingRunConfig) -> Dict[str, object]:
+    """Canonical JSON-friendly *structural* identity of a training config.
+
+    Everything that shapes the event stream stays; the pricing axes
+    (:data:`PRICING_FIELDS`) are dropped, and the legacy ``"virtual"``
+    execution mode is normalized to its synonym ``"symbolic"``.
+    """
+    from dataclasses import asdict
+
+    if config.swap != "off":
+        raise TemplateError("swap-execution runs are not replayable")
+    structural = asdict(config)
+    for name in PRICING_FIELDS:
+        structural.pop(name, None)
+    structural.pop("host_latency", None)
+    if structural.get("execution_mode") == "virtual":
+        structural["execution_mode"] = "symbolic"
+    return {"template_schema": TEMPLATE_SCHEMA_VERSION, "config": structural}
+
+
+def template_key(config: TrainingRunConfig) -> str:
+    """Content hash of the structural fingerprint (the template file stem)."""
+    import hashlib
+
+    canonical = json.dumps(template_fingerprint(config), sort_keys=True,
+                           separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+# -- capture --------------------------------------------------------------------------
+
+
+class _TemplateCapture:
+    """Session hook that attaches one timing tape per replica clock."""
+
+    def __init__(self) -> None:
+        self.tapes: List[TimingTape] = []
+        self.profilers = None
+        self.rank_traces = None
+
+    def attach(self, group) -> None:
+        self.tapes = [TimingTape(device.clock) for device in group]
+
+    def collect(self, group=None, profilers=None, trainer=None,
+                rank_traces=None) -> None:
+        self.profilers = profilers
+        self.rank_traces = rank_traces
+
+    def detach(self) -> None:
+        for tape in self.tapes:
+            tape.detach()
+
+
+@dataclass
+class RankTemplate:
+    """One replica's captured structure: event columns, tape atoms, lifetimes."""
+
+    # timing tape (one entry per clock advance)
+    tape_kind: np.ndarray          # int64
+    tape_duration_ns: np.ndarray   # int64 (verbatim for CONST; ignored otherwise)
+    tape_nbytes: np.ndarray        # int64 (memcpy / allreduce payloads)
+    tape_flops: np.ndarray         # float64 (kernel roofline inputs)
+    tape_bytes_moved: np.ndarray   # float64
+    # event columns (timestamps re-derived at replay)
+    event_kind: np.ndarray         # int64
+    event_block: np.ndarray        # int64
+    event_address: np.ndarray      # int64
+    event_size: np.ndarray         # int64
+    event_category: np.ndarray     # int64
+    event_iteration: np.ndarray    # int64
+    event_tape_pos: np.ndarray     # int64: atoms preceding each event
+    event_tags: List[str]
+    event_ops: List[str]
+    # iteration marks: index plus [begin, end] tape positions
+    mark_indices: List[int]
+    mark_spans: np.ndarray         # int64 (k, 2)
+    # block lifetimes: 8 parallel int64 rows (see _LT_* indices) + tags
+    lifetimes: np.ndarray          # int64 (8, m)
+    lifetime_tags: List[str]
+    #: Pre-attach clock time as whole segment reservations (best-fit arena).
+    preamble_segments: int
+
+
+# row indices of RankTemplate.lifetimes
+_LT_BLOCK, _LT_ADDRESS, _LT_SIZE, _LT_CATEGORY, _LT_ITERATION, \
+    _LT_ACCESS, _LT_MALLOC_IDX, _LT_FREE_IDX = range(8)
+
+
+def _capture_rank(recorder, trace: MemoryTrace, tape: TimingTape) -> RankTemplate:
+    """Freeze one replica's recorder + tape into a :class:`RankTemplate`."""
+    if not tape.consistent:
+        raise TemplateError("timing tape saw unannotated or mismatched advances")
+    cols = trace.columns()
+    tags, ops = trace.event_strings()
+    positions = np.asarray(recorder.event_tape_positions, dtype=np.int64)
+    if positions.size != len(cols):
+        raise TemplateError("event/tape correspondence is incomplete")
+    spans = recorder.mark_tape_spans
+    if len(spans) != len(trace.iteration_marks) or any(e < 0 for _, e in spans):
+        raise TemplateError("iteration mark spans are incomplete")
+
+    # Lifetimes: malloc events pair 1:1 with lifetimes in recording order;
+    # frees are matched through an open-block walk (handles id reuse).
+    malloc_positions = np.flatnonzero(cols.kind_code == _MALLOC_CODE)
+    if malloc_positions.size != len(trace.lifetimes):
+        raise TemplateError("lifetime/malloc correspondence is incomplete")
+    m = len(trace.lifetimes)
+    lifetimes = np.full((8, m), -1, dtype=np.int64)
+    open_blocks: Dict[int, int] = {}
+    next_lifetime = 0
+    kind_list = cols.kind_code.tolist()
+    block_list = cols.block_id.tolist()
+    for pos, kind in enumerate(kind_list):
+        if kind == _MALLOC_CODE:
+            open_blocks[block_list[pos]] = next_lifetime
+            lifetimes[_LT_MALLOC_IDX, next_lifetime] = pos
+            next_lifetime += 1
+        elif kind == _FREE_CODE:
+            index = open_blocks.pop(block_list[pos], None)
+            if index is not None:
+                lifetimes[_LT_FREE_IDX, index] = pos
+    lifetime_tags = []
+    from ..core.trace import CATEGORY_CODES
+    for i, lifetime in enumerate(trace.lifetimes):
+        lifetimes[_LT_BLOCK, i] = lifetime.block_id
+        lifetimes[_LT_ADDRESS, i] = lifetime.address
+        lifetimes[_LT_SIZE, i] = lifetime.size
+        lifetimes[_LT_CATEGORY, i] = CATEGORY_CODES[lifetime.category]
+        lifetimes[_LT_ITERATION, i] = lifetime.iteration
+        lifetimes[_LT_ACCESS, i] = lifetime.access_count
+        lifetime_tags.append(lifetime.tag)
+
+    return RankTemplate(
+        tape_kind=np.asarray(tape.kind, dtype=np.int64),
+        tape_duration_ns=np.asarray(tape.duration_ns, dtype=np.int64),
+        tape_nbytes=np.asarray(tape.nbytes, dtype=np.int64),
+        tape_flops=np.asarray(tape.flops, dtype=np.float64),
+        tape_bytes_moved=np.asarray(tape.bytes_moved, dtype=np.float64),
+        event_kind=cols.kind_code.copy(),
+        event_block=cols.block_id.copy(),
+        event_address=(cols.address.copy() if cols.address is not None
+                       else np.zeros(len(cols), dtype=np.int64)),
+        event_size=cols.size.copy(),
+        event_category=cols.category_code.copy(),
+        event_iteration=cols.iteration.copy(),
+        event_tape_pos=positions,
+        event_tags=list(tags),
+        event_ops=list(ops),
+        mark_indices=[mark.index for mark in trace.iteration_marks],
+        mark_spans=np.asarray(spans, dtype=np.int64).reshape(len(spans), 2),
+        lifetimes=lifetimes,
+        lifetime_tags=lifetime_tags,
+        preamble_segments=-1,  # filled by the caller (needs the compile spec)
+    )
+
+# -- the template ---------------------------------------------------------------------
+
+
+@dataclass
+class _FastPath:
+    """Single-rank precomputations whose event order is timestamp-free."""
+
+    ati: Optional[IntervalArrays]      # interval_ns holds compile-time gaps (unused)
+    ati_start_pos: np.ndarray          # positions into the event stream
+    ati_end_pos: np.ndarray
+    breakdown: object                  # OccupationBreakdown with peak_time_ns=0
+    peak_event_pos: int                # event position of the occupancy peak (-1: none)
+    peak_live_bytes: int
+    num_events: int
+    num_blocks: int
+
+
+class TraceTemplate:
+    """One compiled structure: everything needed to re-price it in bulk.
+
+    ``meta`` carries the structural scalars (allocator name, capacities,
+    peaks, parameter bytes, allocator counters, per-iteration statistics);
+    ``ranks`` carries the per-replica arrays.  Construction validates the
+    capture (consistent tapes, matching cross-rank sync sequences) and, for
+    single-rank templates, precomputes the timestamp-free reductions.
+    """
+
+    def __init__(self, key: str, meta: Dict[str, object],
+                 ranks: Sequence[RankTemplate]):
+        self.key = key
+        self.meta = dict(meta)
+        self.ranks = list(ranks)
+        if not self.ranks:
+            raise TemplateError("a template needs at least one rank")
+        self._validate_syncs()
+        self.fast = self._precompute_fast() if len(self.ranks) == 1 else None
+
+    # -- validation -------------------------------------------------------------------
+
+    def _validate_syncs(self) -> None:
+        """Cross-rank sync atoms must agree in kind and payload, rank by rank."""
+        sync_mask = [np.isin(rank.tape_kind, SYNC_KINDS) for rank in self.ranks]
+        self.sync_pos = [np.flatnonzero(mask) for mask in sync_mask]
+        kinds = [rank.tape_kind[pos] for rank, pos in zip(self.ranks, self.sync_pos)]
+        payloads = [rank.tape_nbytes[pos] for rank, pos in zip(self.ranks, self.sync_pos)]
+        first_kinds, first_payloads = kinds[0], payloads[0]
+        for other_kinds, other_payloads in zip(kinds[1:], payloads[1:]):
+            if (other_kinds.size != first_kinds.size
+                    or not np.array_equal(other_kinds, first_kinds)
+                    or not np.array_equal(other_payloads, first_payloads)):
+                raise TemplateError("ranks disagree on the collective sequence")
+        self.sync_kinds = first_kinds
+        self.sync_nbytes = first_payloads
+
+    def valid_for(self, config: TrainingRunConfig) -> bool:
+        """Whether this structure also holds under ``config``'s memory capacity.
+
+        Capacity is the one pricing axis that can feed back into structure
+        (allocator OOM handling, best-fit arena sizing), so a template is
+        only served when the target capacity provably cannot have changed
+        the capture:
+
+        * ``caching``: same capacity, or the capture never released a
+          segment (no cache-flush pressure) and its reserved peak fits;
+        * ``bump``: same capacity, or the reserved peak fits (its segments
+          mirror allocation sizes, independent of the headroom);
+        * ``best_fit`` (and anything unknown): same capacity only — the
+          arena layout is itself a function of the capacity.
+        """
+        spec = get_device_spec(config.device_spec)
+        capacity = (config.device_memory_capacity
+                    if config.device_memory_capacity is not None
+                    else spec.memory_capacity)
+        compile_capacity = int(self.meta["compile_capacity"])
+        if capacity == compile_capacity:
+            return True
+        allocator = self.meta["allocator"]
+        fits = capacity >= int(self.meta["peak_reserved_validity"])
+        if allocator == "caching":
+            return fits and not self.meta["has_segment_free"]
+        if allocator == "bump":
+            return fits
+        return False
+
+    # -- timestamp-free precompute (single rank) --------------------------------------
+
+    def _structural_trace(self) -> MemoryTrace:
+        """The single rank's trace with zeroed timestamps (structure only)."""
+        rank = self.ranks[0]
+        n = len(rank.event_kind)
+        columns = EventColumns(
+            event_id=np.arange(n, dtype=np.int64),
+            kind_code=rank.event_kind,
+            timestamp_ns=np.zeros(n, dtype=np.int64),
+            block_id=rank.event_block,
+            size=rank.event_size,
+            category_code=rank.event_category,
+            iteration=rank.event_iteration,
+            device_rank=np.zeros(n, dtype=np.int64),
+            address=rank.event_address,
+        )
+        return MemoryTrace(columns=columns, event_tags=list(rank.event_tags),
+                           event_ops=list(rank.event_ops))
+
+    def _precompute_fast(self) -> Optional[_FastPath]:
+        trace = self._structural_trace()
+        if trace.is_empty:
+            return None
+        cols = trace.columns()
+        arrays = compute_interval_arrays(trace)
+        breakdown = occupation_breakdown(trace, label="")
+        mask = cols.is_malloc | cols.is_free
+        positions = np.flatnonzero(mask)
+        if positions.size:
+            live = np.cumsum(cols.live_deltas()[mask])
+            peak_event_pos = int(positions[int(np.argmax(live))])
+            peak_live = int(max(0, live.max()))
+        else:
+            peak_event_pos, peak_live = -1, 0
+        return _FastPath(
+            ati=arrays,
+            ati_start_pos=arrays.start_index,
+            ati_end_pos=arrays.end_index,
+            breakdown=breakdown,
+            peak_event_pos=peak_event_pos,
+            peak_live_bytes=peak_live,
+            num_events=len(trace),
+            num_blocks=len(trace.block_ids()),
+        )
+
+    # -- re-pricing -------------------------------------------------------------------
+
+    def _reprice_atoms(self, rank: RankTemplate, spec,
+                       host_dispatch_ns: int) -> np.ndarray:
+        """Vectorized duration of every tape atom under ``spec`` (syncs zeroed).
+
+        Reproduces :class:`~repro.device.timing.KernelTimingModel` exactly:
+        ``np.rint`` matches Python's banker's ``round`` on the same float
+        expressions, so re-priced durations are bit-identical to what a
+        fresh simulation advances the clock by.
+        """
+        kind = rank.tape_kind
+        out = np.zeros(kind.size, dtype=np.int64)
+
+        const_mask = kind == TAPE_CONST
+        out[const_mask] = rank.tape_duration_ns[const_mask]
+
+        kernel_mask = kind == TAPE_KERNEL
+        if kernel_mask.any():
+            flops = rank.tape_flops[kernel_mask]
+            moved = rank.tape_bytes_moved[kernel_mask]
+            effective_flops = spec.peak_flops * 0.65
+            effective_bw = spec.memory_bandwidth * 0.75
+            compute_ns = np.where(flops != 0.0, 1e9 * flops / effective_flops, 0.0)
+            memory_ns = np.where(moved != 0.0, 1e9 * moved / effective_bw, 0.0)
+            busy = np.maximum(compute_ns, memory_ns)
+            out[kernel_mask] = (
+                np.rint(spec.kernel_launch_overhead_ns + busy).astype(np.int64)
+                + host_dispatch_ns)
+
+        for mask_kind, bandwidth in ((TAPE_MEMCPY_H2D, spec.h2d_bandwidth),
+                                     (TAPE_MEMCPY_D2H, spec.d2h_bandwidth)):
+            copy_mask = kind == mask_kind
+            if copy_mask.any():
+                nbytes = rank.tape_nbytes[copy_mask]
+                transfer = np.where(nbytes != 0, 1e9 * nbytes / bandwidth, 0.0)
+                out[copy_mask] = np.rint(
+                    spec.memcpy_launch_overhead_ns + transfer).astype(np.int64)
+
+        out[kind == TAPE_ALLOC_OVERHEAD] = spec.allocator_overhead_ns
+        out[kind == TAPE_SEGMENT_OVERHEAD] = spec.cuda_malloc_overhead_ns
+        # sync atoms stay 0; they are resolved with barrier semantics below
+        return out
+
+    def _resolve_times(self, spec, host_dispatch_ns: int,
+                       cluster) -> Tuple[List[np.ndarray], List[int]]:
+        """Absolute clock time after every atom, with collectives resolved.
+
+        Returns one ``(n_atoms + 1)``-long array per rank — entry ``i`` is
+        the clock right after atom ``i - 1`` (entry 0 is the post-preamble
+        start time), so an event at tape position ``p`` happened at
+        ``times[p]`` — plus the resolved per-sync costs.
+        """
+        pres: List[np.ndarray] = []
+        for rank in self.ranks:
+            effective = self._reprice_atoms(rank, spec, host_dispatch_ns)
+            pres.append(np.concatenate((np.zeros(1, dtype=np.int64),
+                                        np.cumsum(effective))))
+        offsets = [int(rank.preamble_segments) * spec.cuda_malloc_overhead_ns
+                   for rank in self.ranks]
+
+        n_ranks = len(self.ranks)
+        sync_costs: List[int] = []
+        # Segment boundaries: each sync splits a rank's timeline; between two
+        # syncs the times are offset + prefix-sum (vectorized per segment).
+        segment_offsets: List[List[Tuple[int, int]]] = [
+            [(0, offsets[r])] for r in range(n_ranks)]
+        for j in range(int(self.sync_kinds.size)):
+            arrivals = [offsets[r] + int(pres[r][self.sync_pos[r][j]])
+                        for r in range(n_ranks)]
+            start = max(arrivals)
+            if int(self.sync_kinds[j]) == TAPE_ALLREDUCE:
+                cost = cluster.allreduce_time_ns(int(self.sync_nbytes[j]))
+            else:
+                cost = 0
+            end = start + cost
+            sync_costs.append(cost)
+            for r in range(n_ranks):
+                position = int(self.sync_pos[r][j])
+                offsets[r] = end - int(pres[r][position])
+                segment_offsets[r].append((position + 1, offsets[r]))
+
+        times: List[np.ndarray] = []
+        for r in range(n_ranks):
+            absolute = pres[r].copy()
+            boundaries = segment_offsets[r] + [(absolute.size, 0)]
+            for (begin, offset), (stop, _) in zip(boundaries, boundaries[1:]):
+                absolute[begin:stop] += offset
+            times.append(absolute)
+        return times, sync_costs
+
+    # -- replay -----------------------------------------------------------------------
+
+    @staticmethod
+    def _host_dispatch_ns(config: TrainingRunConfig) -> int:
+        if config.host_dispatch_overhead_ns is not None:
+            return int(config.host_dispatch_overhead_ns)
+        return 6_000  # KernelTimingModel's default
+
+    @staticmethod
+    def _scenario_dict(config: TrainingRunConfig,
+                       swap_policy: str) -> Dict[str, object]:
+        """The identifying fields block of a result (mirrors ``run_scenario``)."""
+        return {
+            "model": config.model,
+            "dataset": config.dataset,
+            "batch_size": config.batch_size,
+            "iterations": config.iterations,
+            "allocator": config.allocator,
+            "swap_policy": swap_policy,
+            "device_spec": config.device_spec,
+            "dtype": config.dtype,
+            "n_devices": config.n_devices,
+            "interconnect": config.interconnect,
+            "swap": config.swap,
+            "execution_mode": config.execution_mode,
+            "seed": config.seed,
+        }
+
+    def replay(self, scenario, bandwidths: BandwidthConfig,
+               started: float):
+        """Price one scenario from this template; returns a ``ScenarioResult``.
+
+        Exactness contract: every field except ``wall_time_s`` equals what
+        :func:`~repro.experiments.sweep.run_scenario` produces for the same
+        scenario, bit for bit.
+        """
+        config = scenario.config
+        cluster = build_cluster(config)
+        spec = cluster.device
+        times, sync_costs = self._resolve_times(
+            spec, self._host_dispatch_ns(config), cluster)
+        stats = self.meta["allocator_stats"]
+        peak_reserved = int(stats.get("peak_reserved_bytes",
+                                      self.meta["peak_reserved_bytes"]))
+        if (self.fast is not None and scenario.swap_policy == "none"
+                and peak_reserved > 0):
+            return self._fast_result(scenario, bandwidths, times[0], started)
+        session = self._rebuild_session(config, cluster, times, sync_costs)
+        from .sweep import reduce_session
+        return reduce_session(scenario, bandwidths, session, started)
+
+    def _fast_result(self, scenario, bandwidths: BandwidthConfig,
+                     absolute: np.ndarray, started: float):
+        """Single-rank, policy-free replay: no trace object is ever built."""
+        from .sweep import ScenarioResult
+
+        config = scenario.config
+        rank = self.ranks[0]
+        fast = self.fast
+        timestamps = absolute[rank.event_tape_pos]
+        gaps = timestamps[fast.ati_end_pos] - timestamps[fast.ati_start_pos]
+        arrays = replace(fast.ati, interval_ns=gaps)
+        ati_summary = summarize_values_us(arrays.interval_us)
+
+        label = config.label or config.describe()
+        peak_time = (int(timestamps[fast.peak_event_pos])
+                     if fast.peak_event_pos >= 0 else 0)
+        breakdown = replace(fast.breakdown, label=label, peak_time_ns=peak_time)
+
+        spans = rank.mark_spans
+        durations_s = [int(end - start) / 1e9
+                       for start, end in zip(absolute[spans[:, 0]],
+                                             absolute[spans[:, 1]])]
+        total_s = float(sum(durations_s))
+
+        stats = {k: int(v) for k, v in self.meta["allocator_stats"].items()}
+        peak_reserved = int(stats.get("peak_reserved_bytes",
+                                      self.meta["peak_reserved_bytes"]))
+        peak_allocated = int(stats.get("peak_allocated_bytes",
+                                       self.meta["peak_allocated_bytes"]))
+        return ScenarioResult(
+            scenario=self._scenario_dict(config, scenario.swap_policy),
+            key=scenario.key(bandwidths),
+            peak_allocated_bytes=int(self.meta["peak_allocated_bytes"]),
+            peak_reserved_bytes=int(self.meta["peak_reserved_bytes"]),
+            peak_live_bytes=int(fast.peak_live_bytes),
+            parameter_bytes=int(self.meta["parameter_bytes"]),
+            parameter_count=int(self.meta["parameter_count"]),
+            num_events=int(fast.num_events),
+            num_blocks=int(fast.num_blocks),
+            step_time_s_mean=total_s / len(durations_s) if durations_s else 0.0,
+            step_time_s_total=total_s,
+            ati=ati_summary.to_dict(),
+            swappable_fraction=swappable_fraction(arrays, bandwidths),
+            swap=None,  # the "none" policy evaluates to None by definition
+            breakdown=breakdown.to_dict(),
+            allocator_stats=stats,
+            mean_utilization=float(peak_allocated / peak_reserved),
+            wall_time_s=time.perf_counter() - started,
+            collective=None,
+            swap_execution=None,
+        )
+
+    # -- full trace rebuild (multi-rank or policy evaluation) -------------------------
+
+    def _rebuild_session(self, config: TrainingRunConfig, cluster,
+                         times: List[np.ndarray],
+                         sync_costs: List[int]) -> SessionResult:
+        """Reconstruct the session a fresh run would have produced.
+
+        Per-rank traces are rebuilt with replayed timestamps and merged with
+        the *real* :func:`~repro.core.trace.merge_rank_traces` (the merged
+        event order is timestamp-dependent, so it must be recomputed), and
+        the result feeds the real per-scenario reduction unchanged.
+        """
+        n_ranks = len(self.ranks)
+        spec = cluster.device
+        base_metadata = {
+            "workload": config.describe(),
+            "model": config.model,
+            "dataset": config.dataset,
+            "batch_size": config.batch_size,
+            "iterations": config.iterations,
+            "n_devices": n_ranks,
+        }
+        if n_ranks > 1:
+            base_metadata["interconnect"] = config.interconnect
+            base_metadata["allreduce_algorithm"] = config.allreduce_algorithm
+
+        rank_traces: List[MemoryTrace] = []
+        for rank_index, rank in enumerate(self.ranks):
+            absolute = times[rank_index]
+            timestamps = absolute[rank.event_tape_pos]
+            n_events = timestamps.size
+            columns = EventColumns(
+                event_id=np.arange(n_events, dtype=np.int64),
+                kind_code=rank.event_kind,
+                timestamp_ns=timestamps.astype(np.int64),
+                block_id=rank.event_block,
+                size=rank.event_size,
+                category_code=rank.event_category,
+                iteration=rank.event_iteration,
+                device_rank=np.zeros(n_events, dtype=np.int64),
+                address=rank.event_address,
+            )
+            lifetimes = []
+            table, tags = rank.lifetimes, rank.lifetime_tags
+            for i in range(table.shape[1]):
+                free_idx = int(table[_LT_FREE_IDX, i])
+                lifetimes.append(BlockLifetime(
+                    block_id=int(table[_LT_BLOCK, i]),
+                    address=int(table[_LT_ADDRESS, i]),
+                    size=int(table[_LT_SIZE, i]),
+                    category=CATEGORY_FROM_CODE[int(table[_LT_CATEGORY, i])],
+                    tag=tags[i],
+                    malloc_ns=int(timestamps[int(table[_LT_MALLOC_IDX, i])]),
+                    free_ns=(int(timestamps[free_idx]) if free_idx >= 0 else None),
+                    iteration=int(table[_LT_ITERATION, i]),
+                    access_count=int(table[_LT_ACCESS, i]),
+                ))
+            marks = [IterationMark(index=index,
+                                   start_ns=int(absolute[span[0]]),
+                                   end_ns=int(absolute[span[1]]))
+                     for index, span in zip(rank.mark_indices, rank.mark_spans)]
+            metadata = {
+                "device": spec.to_dict(),
+                "allocator": self.meta["allocator_name"],
+                "execution_mode": config.execution_mode,
+                **base_metadata,
+                "device_rank": rank_index,
+            }
+            rank_traces.append(MemoryTrace(
+                columns=columns,
+                event_tags=list(rank.event_tags),
+                event_ops=list(rank.event_ops),
+                lifetimes=lifetimes,
+                iteration_marks=marks,
+                metadata=metadata,
+                end_ns=int(absolute[-1]),
+            ))
+
+        merged = merge_rank_traces(rank_traces)
+
+        mark_by_index = {mark.index: mark for mark in merged.iteration_marks}
+        iteration_stats = []
+        for entry in self.meta["iteration_stats"]:
+            mark = mark_by_index[int(entry["index"])]
+            iteration_stats.append(IterationStats(
+                index=int(entry["index"]),
+                loss=entry["loss"],
+                start_ns=int(mark.start_ns),
+                end_ns=int(mark.end_ns),
+                allocated_bytes_end=int(entry["allocated_bytes_end"]),
+                peak_allocated_bytes=int(entry["peak_allocated_bytes"]),
+                reserved_bytes_end=int(entry["reserved_bytes_end"]),
+            ))
+
+        collective = None
+        if n_ranks > 1:
+            allreduce = self.sync_kinds == TAPE_ALLREDUCE
+            count = int(allreduce.sum())
+            total_ns = int(sum(cost for cost, kind
+                               in zip(sync_costs, self.sync_kinds.tolist())
+                               if kind == TAPE_ALLREDUCE))
+            collective = {
+                "count": count,
+                "world_size": n_ranks,
+                "algorithm": cluster.allreduce_algorithm,
+                "interconnect": cluster.interconnect.name,
+                "total_bytes": int(self.sync_nbytes[allreduce].sum()),
+                "total_time_ns": total_ns,
+                "mean_time_ns": (total_ns / count) if count else 0.0,
+            }
+
+        return SessionResult(
+            config=config,
+            trace=merged,
+            iteration_stats=iteration_stats,
+            parameter_bytes=int(self.meta["parameter_bytes"]),
+            parameter_count=int(self.meta["parameter_count"]),
+            peak_allocated_bytes=int(self.meta["peak_allocated_bytes"]),
+            peak_reserved_bytes=int(self.meta["peak_reserved_bytes"]),
+            allocator_stats={k: int(v)
+                             for k, v in self.meta["allocator_stats"].items()},
+            n_devices=n_ranks,
+            collective=collective,
+            rank_traces=(rank_traces if n_ranks > 1 else None),
+            swap_execution=None,
+        )
+
+    def replay_trace(self, config: TrainingRunConfig) -> MemoryTrace:
+        """Rebuild the merged trace under ``config``'s pricing (test helper)."""
+        cluster = build_cluster(config)
+        times, sync_costs = self._resolve_times(
+            cluster.device, self._host_dispatch_ns(config), cluster)
+        return self._rebuild_session(config, cluster, times, sync_costs).trace
+
+
+# -- compilation ----------------------------------------------------------------------
+
+
+def compile_template(config: TrainingRunConfig) -> Optional[TraceTemplate]:
+    """Run the simulation once and capture its structure as a template.
+
+    Returns ``None`` when the configuration is outside the replay envelope
+    (swap execution on, a host-latency model attached, eager numerics) or
+    when the capture turns out not to be replayable (a timing atom the tape
+    could not attribute, ranks disagreeing on the collective sequence) —
+    callers fall back to fresh simulation.
+    """
+    if (config.swap != "off" or config.host_latency is not None
+            or config.execution_mode not in ("symbolic", "virtual")):
+        return None
+    key = template_key(config)
+    compile_config = replace(config, execution_mode="symbolic")
+    capture = _TemplateCapture()
+    try:
+        session = run_training_session(compile_config, capture=capture)
+    finally:
+        capture.detach()
+
+    spec = build_cluster(compile_config).device
+    try:
+        ranks = []
+        for profiler, trace, tape in zip(capture.profilers, capture.rank_traces,
+                                         capture.tapes):
+            rank = _capture_rank(profiler.recorder, trace, tape)
+            preamble = tape.preamble_segments(spec.cuda_malloc_overhead_ns)
+            if preamble < 0:
+                raise TemplateError("pre-attach clock time is not whole segments")
+            rank.preamble_segments = preamble
+            ranks.append(rank)
+        allocator_stats = {k: int(v) for k, v in session.allocator_stats.items()}
+        has_segment_free = (
+            allocator_stats.get("segment_frees", 0) > 0
+            or any(bool((rank.event_kind == _SEGMENT_FREE_CODE).any())
+                   for rank in ranks))
+        meta = {
+            "schema": TEMPLATE_SCHEMA_VERSION,
+            "allocator": config.allocator,
+            "allocator_name": session.trace.metadata.get("allocator",
+                                                         config.allocator),
+            "n_ranks": len(ranks),
+            "compile_capacity": int(spec.memory_capacity),
+            "has_segment_free": bool(has_segment_free),
+            "peak_reserved_validity": int(session.peak_reserved_bytes),
+            "peak_allocated_bytes": int(session.peak_allocated_bytes),
+            "peak_reserved_bytes": int(session.peak_reserved_bytes),
+            "parameter_bytes": int(session.parameter_bytes),
+            "parameter_count": int(session.parameter_count),
+            "allocator_stats": allocator_stats,
+            "iteration_stats": [
+                {"index": stats.index, "loss": stats.loss,
+                 "allocated_bytes_end": int(stats.allocated_bytes_end),
+                 "peak_allocated_bytes": int(stats.peak_allocated_bytes),
+                 "reserved_bytes_end": int(stats.reserved_bytes_end)}
+                for stats in session.iteration_stats
+            ],
+        }
+        return TraceTemplate(key, meta, ranks)
+    except TemplateError:
+        return None
+
+
+# -- persistence ----------------------------------------------------------------------
+
+_RANK_ARRAYS = ("tape_kind", "tape_duration_ns", "tape_nbytes", "tape_flops",
+                "tape_bytes_moved", "event_kind", "event_block", "event_address",
+                "event_size", "event_category", "event_iteration",
+                "event_tape_pos", "mark_spans", "lifetimes")
+
+
+def save_template(template: TraceTemplate, path: Path) -> None:
+    """Persist a template as a single ``.npz`` (numeric arrays + JSON header)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    arrays: Dict[str, np.ndarray] = {}
+    header = {
+        "schema": TEMPLATE_SCHEMA_VERSION,
+        "key": template.key,
+        "meta": template.meta,
+        "ranks": [],
+    }
+    for index, rank in enumerate(template.ranks):
+        for name in _RANK_ARRAYS:
+            arrays[f"r{index}_{name}"] = getattr(rank, name)
+        header["ranks"].append({
+            "event_tags": rank.event_tags,
+            "event_ops": rank.event_ops,
+            "mark_indices": rank.mark_indices,
+            "lifetime_tags": rank.lifetime_tags,
+            "preamble_segments": rank.preamble_segments,
+        })
+    arrays["header"] = np.frombuffer(
+        json.dumps(header).encode("utf-8"), dtype=np.uint8)
+    tmp = path.with_name(path.name + ".tmp.npz")
+    np.savez(tmp, **arrays)
+    tmp.replace(path)
+
+
+def load_template(path: Path, key: Optional[str] = None) -> Optional[TraceTemplate]:
+    """Load a persisted template; ``None`` on any mismatch or corruption."""
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            header = json.loads(bytes(data["header"]).decode("utf-8"))
+            if header.get("schema") != TEMPLATE_SCHEMA_VERSION:
+                return None
+            if key is not None and header.get("key") != key:
+                return None
+            ranks = []
+            for index, info in enumerate(header["ranks"]):
+                columns = {name: np.array(data[f"r{index}_{name}"])
+                           for name in _RANK_ARRAYS}
+                ranks.append(RankTemplate(
+                    event_tags=[str(tag) for tag in info["event_tags"]],
+                    event_ops=[str(op) for op in info["event_ops"]],
+                    mark_indices=[int(i) for i in info["mark_indices"]],
+                    lifetime_tags=[str(tag) for tag in info["lifetime_tags"]],
+                    preamble_segments=int(info["preamble_segments"]),
+                    **columns,
+                ))
+            return TraceTemplate(header["key"], header["meta"], ranks)
+    except Exception:
+        return None
+
+
+# -- the engine -----------------------------------------------------------------------
+
+
+class ReplayEngine:
+    """Compile-once / replay-many scenario pricer.
+
+    Templates are memoized per structural key; when ``template_dir`` is set
+    (the sweep runner points it next to its result cache) they are also
+    persisted as ``<key>.npz`` so later processes skip compilation entirely.
+    A memoized ``None`` marks a structure that failed to compile, so the
+    sweep only pays the attempted compilation once.
+    """
+
+    def __init__(self, template_dir: Optional[Path] = None):
+        self.template_dir = Path(template_dir) if template_dir is not None else None
+        self._templates: Dict[str, Optional[TraceTemplate]] = {}
+        self.templates_compiled = 0
+        self.replayed = 0
+
+    def template_for(self, config: TrainingRunConfig) -> Optional[TraceTemplate]:
+        """The (possibly cached) template for ``config``'s structural key."""
+        try:
+            key = template_key(config)
+        except TemplateError:
+            return None
+        if key in self._templates:
+            return self._templates[key]
+        template = None
+        if self.template_dir is not None:
+            path = self.template_dir / f"{key}.npz"
+            if path.is_file():
+                template = load_template(path, key=key)
+        if template is None:
+            template = compile_template(config)
+            if template is not None:
+                self.templates_compiled += 1
+                if self.template_dir is not None:
+                    save_template(template, self.template_dir / f"{key}.npz")
+        self._templates[key] = template
+        return template
+
+    def price(self, scenario, bandwidths: BandwidthConfig):
+        """Replay-price one sweep scenario; ``None`` means "simulate it fresh"."""
+        config = scenario.config
+        if (config.swap != "off" or config.host_latency is not None
+                or config.execution_mode not in ("symbolic", "virtual")):
+            return None
+        template = self.template_for(config)
+        if template is None or not template.valid_for(config):
+            return None
+        started = time.perf_counter()
+        result = template.replay(scenario, bandwidths, started)
+        self.replayed += 1
+        return result
+
+    def replay_trace(self, config: TrainingRunConfig) -> Optional[MemoryTrace]:
+        """Rebuild the merged trace for ``config`` (test/debug helper)."""
+        template = self.template_for(config)
+        if template is None or not template.valid_for(config):
+            return None
+        return template.replay_trace(config)

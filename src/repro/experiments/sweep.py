@@ -91,7 +91,11 @@ from ..units import MIB
 #: v5: closed-loop swap execution (the ``swaps`` axis / ``--swap`` flag):
 #:     scenarios can run the repro.swap engine and results carry the
 #:     measured-vs-predicted swap_execution summary.
-RESULT_SCHEMA_VERSION = 5
+#: v6: trace-template replay (``--execution replay``): replayed results are
+#:     pinned bit-identical to fresh symbolic runs and share their cache
+#:     entries; the bump guards against any pre-replay entry produced while
+#:     the per-scenario reduction was being factored out.
+RESULT_SCHEMA_VERSION = 6
 
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "REPRO_SWEEP_CACHE"
@@ -124,6 +128,10 @@ class Scenario:
 
     config: TrainingRunConfig
     swap_policy: str = "none"
+    #: Route this scenario through the replay engine (``--execution replay``).
+    #: Excluded from the fingerprint: replay is pinned bit-identical to a
+    #: fresh symbolic run, so both share one cache entry.
+    via_replay: bool = False
 
     def resolve_bandwidths(self,
                            bandwidths: Optional[BandwidthConfig] = None) -> BandwidthConfig:
@@ -226,6 +234,13 @@ class SweepGrid:
                 raise ValueError(
                     f"unknown swap execution mode '{swap}'; known modes: "
                     f"{SWAP_EXECUTION_MODES}")
+        # "replay" is a pseudo-mode: the scenarios themselves are plain
+        # symbolic (identical fingerprints, identical results), only routed
+        # through the template-replay engine by the runner.
+        execution_mode = self.execution_mode
+        via_replay = execution_mode == "replay"
+        if via_replay:
+            execution_mode = "symbolic"
         scenarios: List[Scenario] = []
         # Outermost dimension first; the policy varies fastest so that related
         # baselines of one workload sit together in the summary table.
@@ -248,7 +263,7 @@ class SweepGrid:
                 device_spec=device_spec,
                 dtype=dtype,
                 allocator=allocator,
-                execution_mode=self.execution_mode,
+                execution_mode=execution_mode,
                 seed=seed,
                 host_latency=self.host_latency,
                 device_memory_capacity=self.device_memory_capacity,
@@ -259,7 +274,8 @@ class SweepGrid:
                 swap=swap,
                 label=f"{model}-batch{batch_size}-{allocator}",
             )
-            scenarios.append(Scenario(config=config, swap_policy=policy))
+            scenarios.append(Scenario(config=config, swap_policy=policy,
+                                      via_replay=via_replay))
         return scenarios
 
 
@@ -380,6 +396,18 @@ def run_scenario(scenario: Scenario,
     bandwidths = scenario.resolve_bandwidths(bandwidths)
     started = time.perf_counter()
     session = run_training_session(scenario.config)
+    return reduce_session(scenario, bandwidths, session, started)
+
+
+def reduce_session(scenario: Scenario, bandwidths: BandwidthConfig,
+                   session: SessionResult, started: float) -> ScenarioResult:
+    """Reduce a finished session to a :class:`ScenarioResult`.
+
+    Factored out of :func:`run_scenario` so the replay engine
+    (:mod:`repro.experiments.replay`) can feed a *reconstructed* session
+    through the very same reduction — bit-identical results require the
+    identical code path, not a parallel reimplementation.
+    """
     trace = session.trace
 
     arrays = compute_interval_arrays(trace)
@@ -493,6 +521,10 @@ class SweepResult:
     cache_hits: int
     cache_misses: int
     wall_time_s: float
+    #: Scenarios priced by template replay (a subset of ``cache_misses``).
+    replayed: int = 0
+    #: Trace templates compiled during this run (once per structure).
+    templates_compiled: int = 0
 
     def __len__(self) -> int:
         return len(self.results)
@@ -575,6 +607,7 @@ class SweepRunner:
         self.bandwidths = bandwidths
         self.chunk_size = chunk_size
         self._pool: Optional[ProcessPoolExecutor] = None
+        self._replay_engine = None  # lazy ReplayEngine (replay scenarios only)
 
     # -- worker pool ------------------------------------------------------------------
 
@@ -664,7 +697,22 @@ class SweepRunner:
         for path in self.cache_dir.glob("*.json"):
             path.unlink()
             removed += 1
+        for path in (self.cache_dir / "templates").glob("*.npz"):
+            path.unlink()
+            removed += 1
         return removed
+
+    # -- replay -----------------------------------------------------------------------
+
+    def _ensure_replay_engine(self):
+        """The lazily-built template-replay engine (persists templates next to
+        the result cache when one is configured)."""
+        if self._replay_engine is None:
+            from .replay import ReplayEngine
+            template_dir = (self.cache_dir / "templates"
+                            if self.cache_dir is not None else None)
+            self._replay_engine = ReplayEngine(template_dir=template_dir)
+        return self._replay_engine
 
     # -- execution --------------------------------------------------------------------
 
@@ -685,11 +733,37 @@ class SweepRunner:
             else:
                 missing.append((index, scenario))
 
+        failure: Optional[Exception] = None
+        replayed = templates_compiled = 0
+        replay_candidates = [(i, s) for i, s in missing if s.via_replay]
+        if replay_candidates:
+            # Replay runs serially in-process: pricing a scenario from a
+            # memoized template is far cheaper than shipping it to a pool
+            # worker.  Scenarios the engine declines (no template, structure
+            # invalid for the target capacity, swap engine on) stay in
+            # ``missing`` and take the ordinary simulation path below.
+            engine = self._ensure_replay_engine()
+            priced: set = set()
+            for index, scenario in replay_candidates:
+                try:
+                    result = engine.price(
+                        scenario, scenario.resolve_bandwidths(self.bandwidths))
+                except Exception as error:  # re-raised after the loop drains
+                    failure = failure or error
+                    continue
+                if result is None:
+                    continue
+                results[index] = result
+                self.cache_store(scenario, result)
+                priced.add(index)
+            missing = [(i, s) for i, s in missing if i not in priced]
+            replayed = engine.replayed
+            templates_compiled = engine.templates_compiled
+
         if missing:
             # Each result is cached the moment its chunk completes, so one
             # failing scenario (raised after the loop drains) never discards
             # the work of the scenarios that already finished.
-            failure: Optional[Exception] = None
             if self.workers > 1 and len(missing) > 1:
                 pool = self._ensure_pool()
                 futures = {
@@ -727,14 +801,18 @@ class SweepRunner:
                         continue
                     results[index] = result
                     self.cache_store(scenario, result)
-            if failure is not None:
-                raise failure
+        if failure is not None:
+            raise failure
 
+        cache_hits = sum(1 for result in results
+                         if result is not None and result.from_cache)
         return SweepResult(
             results=[result for result in results if result is not None],
-            cache_hits=len(scenarios) - len(missing),
-            cache_misses=len(missing),
+            cache_hits=cache_hits,
+            cache_misses=len(scenarios) - cache_hits,
             wall_time_s=time.perf_counter() - started,
+            replayed=replayed,
+            templates_compiled=templates_compiled,
         )
 
 

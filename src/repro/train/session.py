@@ -180,8 +180,15 @@ def _build_swap_executors(config: TrainingRunConfig, group: DeviceGroup):
     return executors
 
 
-def run_training_session(config: TrainingRunConfig) -> SessionResult:
-    """Run one profiled training session and return its trace and statistics."""
+def run_training_session(config: TrainingRunConfig, capture=None) -> SessionResult:
+    """Run one profiled training session and return its trace and statistics.
+
+    ``capture`` is an optional instrumentation hook used by the replay engine
+    (:mod:`repro.experiments.replay`): an object with ``attach(group)`` —
+    called right after device construction, before any profiled work — and
+    ``collect(...)`` — called once the session is complete.  Ordinary callers
+    leave it ``None`` and pay nothing.
+    """
     if config.iterations <= 0:
         raise ConfigurationError("iterations must be positive")
     if config.n_devices < 1:
@@ -191,6 +198,8 @@ def run_training_session(config: TrainingRunConfig) -> SessionResult:
             f"batch_size ({config.batch_size}) must provide at least one sample "
             f"per device ({config.n_devices})")
     group = build_device_group(config)
+    if capture is not None:
+        capture.attach(group)
     n_devices = len(group)
     swap_executors = _build_swap_executors(config, group)
 
@@ -247,6 +256,10 @@ def run_training_session(config: TrainingRunConfig) -> SessionResult:
     if swap_executors:
         swap_execution = swap_executors[0].summary().to_dict()
         swap_execution["n_ranks"] = n_devices
+
+    if capture is not None:
+        capture.collect(group=group, profilers=profilers, trainer=trainer,
+                        rank_traces=rank_traces)
 
     return SessionResult(
         config=config,

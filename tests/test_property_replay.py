@@ -1,0 +1,137 @@
+"""Property tests for template replay over randomly sampled scenario grids.
+
+Complementing the exactness suite (which diffs replay against fresh runs on
+a fixed matrix), these tests sample random pricing/structure points and
+check invariants that must hold for *any* replay: per-rank time must be
+monotone along the tape, the footprint peaks must be consistently ordered,
+and a result served from the cache must be bitwise identical to the replay
+that produced it.
+"""
+
+import json
+import random
+
+import numpy as np
+import pytest
+
+from repro.experiments.replay import ReplayEngine
+from repro.experiments.sweep import Scenario, SweepGrid, SweepRunner
+from repro.train.session import TrainingRunConfig, build_cluster
+
+MODELS = [("mlp", {"hidden_dim": 32}, "two_cluster", 16),
+          ("paper_mlp", {}, "two_cluster", 32),
+          ("lenet5", {"num_classes": 10}, "mnist", 4)]
+DEVICE_SPECS = ["titan_x_pascal", "v100_sxm2_16gb", "gtx_1080_8gb",
+                "ampere_a100_40gb"]
+INTERCONNECTS = ["pcie_gen3", "nvlink2", "ethernet_25g"]
+
+
+def sample_config(rng: random.Random) -> TrainingRunConfig:
+    model, model_kwargs, dataset, batch_size = rng.choice(MODELS)
+    return TrainingRunConfig(
+        model=model, model_kwargs=model_kwargs, dataset=dataset,
+        batch_size=batch_size, iterations=rng.choice([1, 2, 3]),
+        allocator=rng.choice(["caching", "bump"]),
+        device_spec=rng.choice(DEVICE_SPECS),
+        dtype=rng.choice(["float32", "float16"]),
+        n_devices=rng.choice([1, 2]),
+        interconnect=rng.choice(INTERCONNECTS),
+        host_dispatch_overhead_ns=rng.choice([None, 2_000, 9_000]),
+        execution_mode="symbolic", seed=rng.choice([0, 7]),
+    )
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_replayed_timestamps_are_monotone_per_rank(seed):
+    """Along every rank's tape, resolved time never goes backwards, and every
+    event lands inside the rank's [start, end] window."""
+    rng = random.Random(seed)
+    engine = ReplayEngine()
+    for _ in range(3):
+        config = sample_config(rng)
+        template = engine.template_for(config)
+        assert template is not None, config
+        cluster = build_cluster(config)
+        times, _ = template._resolve_times(
+            cluster.device, template._host_dispatch_ns(config), cluster)
+        for rank, absolute in zip(template.ranks, times):
+            assert absolute.size == rank.tape_kind.size + 1
+            assert np.all(np.diff(absolute) >= 0)
+            if rank.event_tape_pos.size:
+                stamps = absolute[rank.event_tape_pos]
+                assert stamps[0] >= absolute[0]
+                assert stamps[-1] <= absolute[-1]
+
+
+@pytest.mark.parametrize("seed", [10, 11, 12])
+def test_replayed_peaks_are_consistently_ordered(seed):
+    """live peak <= allocated peak <= reserved peak, for any pricing point."""
+    rng = random.Random(seed)
+    engine = ReplayEngine()
+    for _ in range(3):
+        config = sample_config(rng)
+        scenario = Scenario(config=config)
+        result = engine.price(scenario, scenario.resolve_bandwidths())
+        assert result is not None, config
+        # The live peak aggregates the merged (cluster-wide) trace while the
+        # allocated/reserved peaks are per-replica — same as a fresh run.
+        assert (0 < result.peak_live_bytes
+                <= config.n_devices * result.peak_allocated_bytes)
+        assert result.peak_allocated_bytes <= result.peak_reserved_bytes
+        assert 0.0 < result.mean_utilization <= 1.0
+        assert 0.0 <= result.swappable_fraction <= 1.0
+        assert result.step_time_s_total >= result.step_time_s_mean > 0.0
+
+
+def test_repricing_responds_to_the_timing_axes():
+    """Not just consistent — the replayed clock actually moves with pricing:
+    a slower dispatch path can only lengthen the run, a faster interconnect
+    can only shorten the collectives."""
+    engine = ReplayEngine()
+
+    def total_s(**overrides):
+        config = TrainingRunConfig(model="mlp", model_kwargs={"hidden_dim": 32},
+                                   batch_size=16, iterations=2, n_devices=2,
+                                   execution_mode="symbolic", **overrides)
+        scenario = Scenario(config=config)
+        return engine.price(scenario, scenario.resolve_bandwidths())
+
+    slow = total_s(host_dispatch_overhead_ns=20_000)
+    fast = total_s(host_dispatch_overhead_ns=1_000)
+    assert slow.step_time_s_total > fast.step_time_s_total
+
+    pcie = total_s(interconnect="pcie_gen3")
+    nvlink = total_s(interconnect="nvlink2")
+    assert (pcie.collective["total_time_ns"] > nvlink.collective["total_time_ns"])
+    assert engine.templates_compiled == 1  # one structure served all four
+
+
+def test_cache_hit_rows_are_bitwise_identical(tmp_path):
+    """A replayed result read back from the cache is byte-for-byte the row
+    that was stored (including wall_time_s, which the cache preserves)."""
+    grid = SweepGrid(models=("mlp",), model_kwargs={"hidden_dim": 32},
+                     batch_sizes=(16,), iterations=(2,),
+                     device_specs=("titan_x_pascal", "v100_sxm2_16gb"),
+                     execution_mode="replay")
+    first = SweepRunner(cache_dir=tmp_path).run(grid)
+    assert first.replayed == len(first.results) == 2
+    second = SweepRunner(cache_dir=tmp_path).run(grid)
+    assert second.cache_hits == 2 and second.replayed == 0
+    for stored, loaded in zip(first.results, second.results):
+        assert loaded.from_cache
+        assert (json.dumps(stored.to_dict(), sort_keys=True)
+                == json.dumps(loaded.to_dict(), sort_keys=True))
+
+
+def test_memoized_replays_are_deterministic():
+    """Pricing the same scenario twice through one engine gives identical
+    rows (wall time aside) — replay holds no mutable state per scenario."""
+    engine = ReplayEngine()
+    scenario = Scenario(config=TrainingRunConfig(
+        model="mlp", model_kwargs={"hidden_dim": 32}, batch_size=16,
+        iterations=2, execution_mode="symbolic"))
+    bandwidths = scenario.resolve_bandwidths()
+    first = engine.price(scenario, bandwidths).to_dict()
+    second = engine.price(scenario, bandwidths).to_dict()
+    first.pop("wall_time_s"), second.pop("wall_time_s")
+    assert first == second

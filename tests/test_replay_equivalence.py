@@ -1,0 +1,265 @@
+"""Replay-equivalence suite: template replay is bit-identical to fresh runs.
+
+The whole value of :mod:`repro.experiments.replay` rests on one claim: a
+scenario priced from a compiled :class:`TraceTemplate` produces the *exact*
+:class:`~repro.experiments.sweep.ScenarioResult` a fresh symbolic simulation
+would — every timestamp, every reduction, every serialized field except the
+wall-clock time.  These tests pin that claim across the pricing axes the
+replay engine exists to sweep (device specs, dispatch overheads,
+interconnects, allreduce algorithms) and across the structural axes it must
+compile separately (models, replica counts, dtypes, allocators, policies).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.replay import (
+    ReplayEngine,
+    TemplateError,
+    compile_template,
+    load_template,
+    save_template,
+    template_key,
+)
+from repro.experiments.sweep import Scenario, SweepGrid, SweepRunner, run_scenario
+from repro.train.session import TrainingRunConfig
+
+
+def make_scenario(swap_policy="none", **overrides):
+    settings = dict(model="mlp", model_kwargs={"hidden_dim": 32},
+                    dataset="two_cluster", batch_size=16, iterations=2,
+                    execution_mode="symbolic", seed=3)
+    settings.update(overrides)
+    return Scenario(config=TrainingRunConfig(**settings), swap_policy=swap_policy)
+
+
+def comparable(result):
+    """A result's serialized form minus the only legitimately varying field."""
+    data = result.to_dict()
+    data.pop("wall_time_s")
+    return data
+
+
+def assert_replay_exact(engine, scenario):
+    fresh = run_scenario(scenario)
+    replayed = engine.price(scenario, scenario.resolve_bandwidths())
+    assert replayed is not None, f"engine declined {scenario.describe()}"
+    assert comparable(replayed) == comparable(fresh)
+
+
+# -- the equivalence matrix -----------------------------------------------------------
+
+CONV = dict(model="alexnet", model_kwargs={"input_size": 32, "num_classes": 10},
+            dataset="cifar10", batch_size=4)
+
+EXACTNESS_CASES = [
+    # label, scenario overrides
+    ("mlp-baseline", {}),
+    ("mlp-fp16", {"dtype": "float16"}),
+    ("mlp-bump", {"allocator": "bump"}),
+    ("mlp-best-fit", {"allocator": "best_fit"}),
+    ("mlp-adam", {"optimizer": "adam", "iterations": 3}),
+    ("mlp-2dev", {"n_devices": 2}),
+    ("mlp-4dev", {"n_devices": 4, "batch_size": 32}),
+    ("alexnet", dict(CONV)),
+    ("alexnet-2dev", dict(CONV, n_devices=2)),
+    ("alexnet-v100", dict(CONV, device_spec="v100_sxm2_16gb")),
+    ("mlp-dispatch", {"host_dispatch_overhead_ns": 9_000}),
+    ("mlp-2dev-nvlink", {"n_devices": 2, "interconnect": "nvlink2"}),
+    ("mlp-2dev-ethernet", {"n_devices": 2, "interconnect": "ethernet_25g"}),
+    ("mlp-2dev-naive", {"n_devices": 2, "allreduce_algorithm": "naive"}),
+]
+
+
+@pytest.mark.parametrize("label,overrides",
+                         EXACTNESS_CASES, ids=[c[0] for c in EXACTNESS_CASES])
+def test_replayed_result_is_bit_identical_to_fresh_symbolic(label, overrides):
+    engine = ReplayEngine()
+    assert_replay_exact(engine, make_scenario(**overrides))
+
+
+@pytest.mark.parametrize("policy", ["planner", "swap_advisor", "recompute",
+                                    "quantization"])
+def test_replay_is_exact_under_every_swap_policy(policy):
+    engine = ReplayEngine()
+    assert_replay_exact(engine, make_scenario(swap_policy=policy, **CONV))
+
+
+def test_zero_offload_policy_replays_exactly_on_a_cluster():
+    engine = ReplayEngine()
+    assert_replay_exact(engine,
+                        make_scenario(swap_policy="zero_offload", n_devices=2))
+
+
+# -- compile once, price many ---------------------------------------------------------
+
+
+def test_one_template_prices_every_pricing_point():
+    """Cross-pricing: a single compile serves all pure-timing variations."""
+    engine = ReplayEngine()
+    pricing_points = [
+        {},
+        {"device_spec": "v100_sxm2_16gb"},
+        {"device_spec": "ampere_a100_40gb"},
+        {"host_dispatch_overhead_ns": 2_000},
+        {"device_spec": "gtx_1080_8gb", "host_dispatch_overhead_ns": 12_000},
+    ]
+    for overrides in pricing_points:
+        assert_replay_exact(engine, make_scenario(**overrides))
+    assert engine.templates_compiled == 1
+    assert engine.replayed == len(pricing_points)
+
+
+def test_replayed_trace_matches_fresh_trace_event_for_event():
+    """Below the result level: the rebuilt trace itself is identical."""
+    from repro.train.session import run_training_session
+
+    config = TrainingRunConfig(model="mlp", model_kwargs={"hidden_dim": 32},
+                               batch_size=16, iterations=2, n_devices=2,
+                               execution_mode="symbolic",
+                               device_spec="v100_sxm2_16gb", seed=3)
+    compile_point = TrainingRunConfig(
+        **{**config.__dict__, "device_spec": "titan_x_pascal"})
+    engine = ReplayEngine()
+    replayed = engine.template_for(compile_point).replay_trace(config)
+    fresh = run_training_session(config).trace
+
+    fresh_cols, replay_cols = fresh.columns(), replayed.columns()
+    # Block/segment ids draw from a process-global counter, so two runs in
+    # one process differ by a constant shift; compare first-appearance order.
+    def normalized(values):
+        mapping = {}
+        return [mapping.setdefault(v, len(mapping)) for v in values]
+
+    for name in ("event_id", "kind_code", "timestamp_ns", "size",
+                 "category_code", "iteration", "device_rank", "address"):
+        np.testing.assert_array_equal(getattr(replay_cols, name),
+                                      getattr(fresh_cols, name), err_msg=name)
+    assert (normalized(replay_cols.block_id.tolist())
+            == normalized(fresh_cols.block_id.tolist()))
+    assert replayed.event_strings() == fresh.event_strings()
+    assert ([mark.to_dict() for mark in replayed.iteration_marks]
+            == [mark.to_dict() for mark in fresh.iteration_marks])
+
+    def lifetime_stream(trace):
+        ids = normalized([lt.block_id for lt in trace.lifetimes])
+        return [(bid, lt.address, lt.size, lt.category, lt.tag, lt.malloc_ns,
+                 lt.free_ns, lt.iteration, lt.access_count, lt.device_rank)
+                for bid, lt in zip(ids, trace.lifetimes)]
+
+    assert lifetime_stream(replayed) == lifetime_stream(fresh)
+    assert replayed.end_ns == fresh.end_ns
+
+
+# -- sweep integration ----------------------------------------------------------------
+
+
+def replay_grid(**overrides):
+    settings = dict(models=("mlp",), model_kwargs={"hidden_dim": 32},
+                    batch_sizes=(16,), iterations=(2,),
+                    device_specs=("titan_x_pascal", "v100_sxm2_16gb"),
+                    host_dispatch_overheads_ns=(None, 9_000),
+                    execution_mode="replay")
+    settings.update(overrides)
+    return SweepGrid(**settings)
+
+
+def test_sweep_replay_mode_matches_symbolic_row_for_row():
+    symbolic = SweepRunner().run(replay_grid(execution_mode="symbolic"))
+    replayed = SweepRunner().run(replay_grid())
+    assert len(replayed.results) == len(symbolic.results) == 4
+    assert replayed.replayed == 4
+    assert replayed.templates_compiled == 1
+    for fresh, via_replay in zip(symbolic.results, replayed.results):
+        assert comparable(via_replay) == comparable(fresh)
+
+
+def test_sweep_replay_smoke():
+    """CI smoke: compile one template, replay a mini-grid, diff vs symbolic."""
+    grid = replay_grid(host_dispatch_overheads_ns=(None,))
+    symbolic = SweepRunner().run(replay_grid(execution_mode="symbolic",
+                                             host_dispatch_overheads_ns=(None,)))
+    replayed = SweepRunner().run(grid)
+    assert replayed.templates_compiled == 1 and replayed.replayed == 2
+    for fresh, via_replay in zip(symbolic.results, replayed.results):
+        assert comparable(via_replay) == comparable(fresh)
+
+
+def test_replay_results_share_the_symbolic_cache(tmp_path):
+    """Replay writes ordinary schema-v6 entries a symbolic run can hit."""
+    grid = replay_grid(host_dispatch_overheads_ns=(None,))
+    first = SweepRunner(cache_dir=tmp_path).run(grid)
+    assert first.cache_hits == 0 and first.replayed == 2
+    rerun = SweepRunner(cache_dir=tmp_path).run(
+        replay_grid(execution_mode="symbolic", host_dispatch_overheads_ns=(None,)))
+    assert rerun.cache_hits == len(rerun.results) == 2
+    assert (tmp_path / "templates").is_dir()
+
+
+def test_swap_execution_scenarios_fall_back_to_simulation():
+    """The engine declines swap-on scenarios; the sweep still completes."""
+    grid = replay_grid(host_dispatch_overheads_ns=(None,),
+                       device_specs=("titan_x_pascal",),
+                       swaps=("off", "lru"))
+    result = SweepRunner().run(grid)
+    assert len(result.results) == 2
+    assert result.replayed == 1  # only the swap-off scenario replayed
+    modes = {row.scenario["swap"] for row in result.results}
+    assert modes == {"off", "lru"}
+
+
+# -- template validity and persistence ------------------------------------------------
+
+
+def test_template_key_is_pricing_invariant():
+    base = make_scenario().config
+    assert template_key(base) == template_key(
+        TrainingRunConfig(**{**base.__dict__, "device_spec": "v100_sxm2_16gb",
+                             "host_dispatch_overhead_ns": 4_000,
+                             "interconnect": "nvlink2", "label": "renamed"}))
+    assert template_key(base) != template_key(
+        TrainingRunConfig(**{**base.__dict__, "batch_size": 32}))
+    assert template_key(base) != template_key(
+        TrainingRunConfig(**{**base.__dict__, "allocator": "bump"}))
+
+
+def test_template_key_rejects_swap_execution():
+    config = TrainingRunConfig(model="mlp", swap="lru")
+    with pytest.raises(TemplateError):
+        template_key(config)
+
+
+def test_compile_declines_out_of_envelope_configs():
+    assert compile_template(TrainingRunConfig(model="mlp",
+                                              execution_mode="eager")) is None
+    assert compile_template(TrainingRunConfig(model="mlp",
+                                              swap="lru")) is None
+
+
+def test_best_fit_template_is_not_served_across_capacities():
+    config = make_scenario(allocator="best_fit").config
+    engine = ReplayEngine()
+    template = engine.template_for(config)
+    assert template.valid_for(config)
+    other_capacity = TrainingRunConfig(
+        **{**config.__dict__, "device_memory_capacity": 1 << 34})
+    assert not template.valid_for(other_capacity)
+
+
+def test_template_round_trips_through_npz(tmp_path):
+    scenario = make_scenario(n_devices=2)
+    template = compile_template(scenario.config)
+    path = tmp_path / "template.npz"
+    save_template(template, path)
+    loaded = load_template(path, key=template.key)
+    assert loaded is not None
+    fresh = run_scenario(scenario)
+    replayed = loaded.replay(scenario, scenario.resolve_bandwidths(), 0.0)
+    assert comparable(replayed) == comparable(fresh)
+
+
+def test_corrupt_template_file_loads_as_none(tmp_path):
+    path = tmp_path / "template.npz"
+    path.write_bytes(b"not an npz archive")
+    assert load_template(path) is None
+    assert load_template(tmp_path / "missing.npz") is None

@@ -127,3 +127,75 @@ def test_reserve_before_respects_earliest_start():
     start, end = stream.reserve_before(1000, 100, earliest_start_ns=950)
     # the window [950, 1000) cannot hold 100ns; earliest-fit from 950
     assert (start, end) == (950, 1050)
+
+
+# -- zero-duration operations never move the completion horizon -----------------------
+
+
+def test_zero_duration_schedule_at_does_not_extend_horizon():
+    clock = DeviceClock()
+    stream = Stream("copy", clock)
+    stream.schedule(100)
+    stream.schedule_at(10_000, 0, name="empty")
+    assert stream.busy_until_ns == 100
+    # A real op issued afterwards is not serialized behind the empty slot.
+    start, _ = stream.schedule(50)
+    assert start == 100
+
+
+def test_zero_duration_reserve_does_not_extend_horizon():
+    clock = DeviceClock()
+    stream = Stream("copy", clock)
+    stream.schedule(100)
+    start, end = stream.reserve(5_000, 0, name="empty")
+    assert (start, end) == (5_000, 5_000)
+    assert stream.busy_until_ns == 100
+
+
+def test_zero_duration_reserve_before_does_not_extend_horizon():
+    clock = DeviceClock()
+    stream = Stream("copy", clock)
+    stream.schedule(100)
+    start, end = stream.reserve_before(9_000, 0, name="empty")
+    assert start == end == 9_000
+    assert stream.busy_until_ns == 100
+
+
+def test_zero_duration_op_is_still_recorded():
+    clock = DeviceClock()
+    stream = Stream("copy", clock)
+    stream.reserve(500, 0, name="marker")
+    assert [op.name for op in stream.ops] == ["marker"]
+    assert stream.busy_time_ns() == 0
+
+
+# -- deadlines that predate the current device time -----------------------------------
+
+
+def test_reserve_before_deadline_in_the_past_falls_back_to_earliest_fit():
+    clock = DeviceClock()
+    clock.advance(1_000)
+    stream = Stream("copy", clock)
+    start, end = stream.reserve_before(500, 100, name="late")
+    # The deadline is unmeetable (it predates the clock): earliest fit, late.
+    assert (start, end) == (1_000, 1_100)
+    assert stream.busy_until_ns == 1_100
+
+
+def test_reserve_before_deadline_before_clock_start_with_existing_ops():
+    clock = DeviceClock()
+    clock.advance(1_000)
+    stream = Stream("copy", clock)
+    stream.schedule(200)  # busy [1000, 1200)
+    start, end = stream.reserve_before(0, 50, name="late")
+    assert start >= 1_000
+    assert end - start == 50
+    assert stream.busy_until_ns == max(1_200, end)
+
+
+def test_reserve_in_the_past_is_clamped_to_now():
+    clock = DeviceClock()
+    clock.advance(2_000)
+    stream = Stream("copy", clock)
+    start, end = stream.reserve(0, 100)
+    assert (start, end) == (2_000, 2_100)

@@ -85,6 +85,9 @@ CASES = [
     ("alexnet", {"input_size": 32, "num_classes": 10}, "cifar10", 4, 2, "float16"),
     ("resnet18", {"input_size": 32, "num_classes": 10}, "cifar10", 4, 1, "float32"),
     ("resnet18", {"input_size": 32, "num_classes": 10}, "cifar10", 4, 2, "float16"),
+    ("vgg11", {"input_size": 32, "num_classes": 10}, "cifar10", 2, 1, "float32"),
+    ("inception_small", {"input_size": 32, "num_classes": 10}, "cifar10", 2, 1, "float32"),
+    ("mlp", {"hidden_dim": 64}, "two_cluster", 16, 4, "float32"),
 ]
 
 

@@ -12,7 +12,11 @@ execution modes and writes a ``BENCH_sweep.json`` report with, per mode:
 
 When both modes run, the report also contains the symbolic-over-eager
 ``speedup`` block — the number the acceptance bar of the symbolic-execution
-work tracks (``>= 5x`` scenarios/sec on the reference grid).
+work tracks (``>= 5x`` scenarios/sec on the reference grid).  The grids
+price every workload structure at several timing points (device specs x
+dispatch overheads), so the ``replay`` mode — trace-template replay, which
+compiles each structure once and re-prices it per point — gets a
+``replay_speedup`` block with its own ``>= 5x``-over-symbolic bar.
 
 Each mode executes in its own child process so that peak-RSS measurements do
 not bleed across modes (``ru_maxrss`` is a process-lifetime high-water mark)
@@ -30,6 +34,7 @@ Usage::
     python tools/bench.py                       # both modes, quick grid
     python tools/bench.py --grid full           # adds conv models
     python tools/bench.py --modes symbolic      # symbolic only (CI smoke)
+    python tools/bench.py --modes symbolic,replay  # template-replay speedup
     python tools/bench.py --modes symbolic+swap # swap-execution throughput
     python tools/bench.py --budget-s 300        # fail if the run exceeds it
 
@@ -56,23 +61,35 @@ if str(SRC) not in sys.path:
 #: Bump when the report layout changes.
 BENCH_SCHEMA_VERSION = 1
 
+#: Pricing axes shared by every reference grid: each workload *structure*
+#: is priced at |device_specs| x |host_dispatch_overheads_ns| points.  This
+#: is the regime the trace-template replay engine targets (compile one
+#: structure, re-price it across the timing axes), and what its acceptance
+#: bar — replay scenarios/s >= 5x symbolic on the full grid — is measured on.
+PRICING_AXES = dict(
+    device_specs=("titan_x_pascal", "v100_sxm2_16gb", "gtx_1080_8gb",
+                  "ampere_a100_40gb"),
+    host_dispatch_overheads_ns=(None, 2_000, 9_000),
+)
+
 #: The reference grids.  Each entry is a list of SweepGrid keyword sets; the
 #: union of their expansions is the grid (models with different input data
 #: need different datasets, which a single SweepGrid cannot express).
 REFERENCE_GRIDS = {
     "quick": [
         dict(models=("mlp",), batch_sizes=(32, 64, 128, 256), iterations=(2,),
-             dataset="two_cluster"),
+             dataset="two_cluster", **PRICING_AXES),
         dict(models=("lenet5",), batch_sizes=(16, 32), iterations=(2,),
-             dataset="mnist"),
+             dataset="mnist", **PRICING_AXES),
     ],
     "full": [
         dict(models=("mlp",), batch_sizes=(32, 64, 128, 256), iterations=(2,),
-             dataset="two_cluster"),
+             dataset="two_cluster", **PRICING_AXES),
         dict(models=("lenet5",), batch_sizes=(16, 32), iterations=(2,),
-             dataset="mnist"),
+             dataset="mnist", **PRICING_AXES),
         dict(models=("alexnet", "resnet18"), batch_sizes=(8,), iterations=(2,),
-             dataset="cifar10", model_kwargs={"input_size": 32, "num_classes": 10}),
+             dataset="cifar10", model_kwargs={"input_size": 32, "num_classes": 10},
+             **PRICING_AXES),
     ],
 }
 
@@ -113,6 +130,9 @@ def run_mode(grid_name: str, mode: str, workers: int) -> dict:
         sweep = runner.run(scenarios)
         wall_s = time.perf_counter() - started
     total_events = sum(result.num_events for result in sweep.results)
+    replay_stats = ({"replayed": sweep.replayed,
+                     "templates_compiled": sweep.templates_compiled}
+                    if sweep.replayed else {})
     # ru_maxrss is KiB on Linux but bytes on macOS.  With --workers > 1 the
     # scenarios execute in pool children, so take the max over self/children.
     rss_unit = 1 if sys.platform == "darwin" else 1024
@@ -127,6 +147,7 @@ def run_mode(grid_name: str, mode: str, workers: int) -> dict:
         "events_total": total_events,
         "events_per_s": round(total_events / wall_s, 1),
         "peak_rss_bytes": peak_rss_bytes,
+        **replay_stats,
         "per_scenario": [
             {"model": result.scenario["model"],
              "batch_size": result.scenario["batch_size"],
@@ -182,7 +203,7 @@ def main(argv=None) -> int:
             base, _ = parse_mode(mode)
         except ValueError as error:
             parser.error(str(error))
-        if base not in ("eager", "symbolic", "virtual"):
+        if base not in ("eager", "symbolic", "virtual", "replay"):
             parser.error(f"unknown execution mode '{mode}'")
 
     started = time.perf_counter()
@@ -221,6 +242,21 @@ def main(argv=None) -> int:
         }
         print(f"symbolic/eager speedup: "
               f"{report['speedup']['scenarios_per_s']}x scenarios/s")
+    if "symbolic" in mode_reports and "replay" in mode_reports:
+        symbolic = mode_reports["symbolic"]
+        replayed = mode_reports["replay"]
+        report["replay_speedup"] = {
+            "scenarios_per_s": round(
+                replayed["scenarios_per_s"] / symbolic["scenarios_per_s"], 2),
+            "events_per_s": round(
+                replayed["events_per_s"] / symbolic["events_per_s"], 2),
+            "templates_compiled": replayed.get("templates_compiled", 0),
+            "replayed": replayed.get("replayed", 0),
+        }
+        print(f"replay/symbolic speedup: "
+              f"{report['replay_speedup']['scenarios_per_s']}x scenarios/s "
+              f"({report['replay_speedup']['templates_compiled']} template(s) "
+              f"compiled for {report['replay_speedup']['replayed']} scenarios)")
     if "symbolic" in mode_reports and "symbolic+swap" in mode_reports:
         plain = mode_reports["symbolic"]
         swapped = mode_reports["symbolic+swap"]
