@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test bench bench-smoke bench-suite report docs-check sweep-smoke sweep-scaling swap-smoke replay-smoke clean-cache
+.PHONY: test bench bench-smoke bench-suite report docs-check sweep-smoke sweep-scaling swap-smoke replay-smoke frontier-smoke clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -38,6 +38,17 @@ sweep-smoke:
 swap-smoke:
 	$(PYTHON) -m repro sweep --models mlp --batch-sizes 512 --iterations 5 \
 		--swap off,planner,swap_advisor,zero_offload,lru --no-cache
+
+# Feasibility-frontier smoke (the CI frontier-smoke leg): the unified
+# keep/swap/recompute policy plus the capacity governor on a tiny capacity
+# ladder — one capacity forces eviction pressure, the unbounded point pins
+# the policy's plain savings.
+frontier-smoke:
+	$(PYTHON) -m pytest tests/test_capacity_pressure.py \
+		tests/test_property_unified_eviction.py -q
+	$(PYTHON) -m repro sweep --models mlp --batch-sizes 512 --iterations 5 \
+		--hidden-dim 2048 --num-layers 4 --swap unified \
+		--device-memory-gib 0.0625,0.25 --no-cache
 
 # Template-replay smoke (the CI replay-smoke leg): the equivalence suite
 # plus a small --execution replay sweep that compiles one template and

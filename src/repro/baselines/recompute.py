@@ -18,8 +18,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from ..core.events import MemoryCategory
-from ..core.trace import MemoryTrace
+import numpy as np
+
+from ..core.events import MemoryCategory, MemoryEventKind
+from ..core.trace import KIND_CODES, MemoryTrace
+
+_WRITE_CODE = KIND_CODES[MemoryEventKind.WRITE]
 
 
 @dataclass
@@ -58,6 +62,49 @@ class RecomputePlan:
         }
 
 
+def per_block_compute_times(trace: MemoryTrace) -> Dict[int, int]:
+    """Per-block producer compute times recovered from a recorded trace.
+
+    An activation's producing kernel closes with the block's first *write*
+    after its malloc, and the simulated clock only advances across kernels
+    and transfers — so the span between that first write and the immediately
+    preceding event in the global stream is the producer's compute time.
+    This is the offline analog of the rule the swap executor uses to learn
+    replay costs online, so in steady state the two agree exactly.
+
+    Blocks whose first post-malloc access is a read (e.g. parameters written
+    during unprofiled setup) and later outputs of multi-output kernels
+    (which get a zero span) are omitted: they are not rematerializable by
+    producer replay.
+    """
+    cols = trace.columns()
+    order = np.argsort(cols.timestamp_ns, kind="stable")
+    kind = cols.kind_code[order]
+    timestamp = cols.timestamp_ns[order]
+    block = cols.block_id[order]
+    is_malloc = np.asarray(cols.is_malloc)[order]
+    is_write = np.asarray(cols.kind_code == _WRITE_CODE)[order]
+
+    compute_ns: Dict[int, int] = {}
+    pending: set = set()
+    previous_ns = None
+    for index in range(kind.size):
+        block_id = int(block[index])
+        if is_malloc[index]:
+            pending.add(block_id)
+        elif block_id in pending and is_write[index]:
+            pending.discard(block_id)
+            if previous_ns is not None:
+                span = int(timestamp[index]) - previous_ns
+                if span > 0:
+                    compute_ns[block_id] = span
+        elif block_id in pending:
+            # First touch was a read: produced outside the recorded stream.
+            pending.discard(block_id)
+        previous_ns = int(timestamp[index])
+    return compute_ns
+
+
 def estimate_recompute_plan(trace: MemoryTrace, keep_every: int = 2,
                             forward_fraction_of_iteration: float = 0.33) -> RecomputePlan:
     """Estimate checkpointing on a recorded trace.
@@ -70,9 +117,12 @@ def estimate_recompute_plan(trace: MemoryTrace, keep_every: int = 2,
         Keep one activation out of every ``keep_every`` as a checkpoint
         (``keep_every=2`` halves the resident activations).
     forward_fraction_of_iteration:
-        Fraction of an iteration spent in the forward pass; the recompute
-        overhead is approximated as that fraction of the iteration time per
-        discarded segment group (a standard first-order model).
+        Legacy fallback: fraction of an iteration assumed spent in the
+        forward pass.  The recompute overhead is normally the *sum of the
+        recorded producer compute times* of the discarded activations (see
+        :func:`per_block_compute_times`); the first-order
+        fraction-of-iteration model is used only when the trace carries no
+        usable timing (e.g. a hand-built trace with no write events).
     """
     if keep_every < 1:
         raise ValueError("keep_every must be at least 1")
@@ -84,16 +134,28 @@ def estimate_recompute_plan(trace: MemoryTrace, keep_every: int = 2,
     reference = steady if steady else activation_lifetimes
     iterations = {lifetime.iteration for lifetime in reference}
     per_iteration = max(1, len(iterations))
+    ordered = sorted(reference, key=lambda item: item.malloc_ns)
     total = sum(lifetime.size for lifetime in reference) // per_iteration
-    kept = sum(lifetime.size for index, lifetime in enumerate(sorted(
-        reference, key=lambda item: item.malloc_ns)) if index % keep_every == 0) // per_iteration
+    kept = sum(lifetime.size for index, lifetime in enumerate(ordered)
+               if index % keep_every == 0) // per_iteration
     discarded = max(0, total - kept)
 
-    durations = [mark.duration_ns() for mark in trace.iteration_marks
-                 if mark.end_ns is not None]
-    mean_iteration_ns = int(sum(durations) / len(durations)) if durations else 0
-    recompute_overhead = int(mean_iteration_ns * forward_fraction_of_iteration
-                             * (1.0 - 1.0 / keep_every))
+    # Recompute cost: replaying the producers of the discarded activations.
+    # The per-block producer times come straight from the recorded timeline;
+    # only a trace with no usable kernel timing falls back to the first-order
+    # fraction-of-iteration model.
+    compute_ns = per_block_compute_times(trace)
+    discarded_lifetimes = [lifetime for index, lifetime in enumerate(ordered)
+                           if index % keep_every != 0]
+    if compute_ns and any(l.block_id in compute_ns for l in discarded_lifetimes):
+        recompute_overhead = sum(compute_ns.get(l.block_id, 0)
+                                 for l in discarded_lifetimes) // per_iteration
+    else:
+        durations = [mark.duration_ns() for mark in trace.iteration_marks
+                     if mark.end_ns is not None]
+        mean_iteration_ns = int(sum(durations) / len(durations)) if durations else 0
+        recompute_overhead = int(mean_iteration_ns * forward_fraction_of_iteration
+                                 * (1.0 - 1.0 / keep_every))
 
     peak_before = trace.peak_live_bytes()
     return RecomputePlan(

@@ -40,6 +40,7 @@ from .core import compute_access_intervals, occupation_breakdown, summarize_inte
 from .core.events import PAPER_BUCKETS
 from .data.datasets import DATASET_PRESETS
 from .device.spec import DEVICE_PRESETS
+from .errors import InfeasibleScenarioError, OutOfMemoryError
 from .models.registry import available_models
 from .swap.policies import SWAP_OFF, available_execution_policies
 from .train.session import TrainingRunConfig, run_training_session
@@ -133,12 +134,15 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="allreduce cost model used for gradient collectives")
     sweep.add_argument("--swap", default="off",
                        help="comma-separated closed-loop swap-execution modes "
-                            "(off, planner, swap_advisor, zero_offload, lru): "
-                            "the engine actually evicts/prefetches blocks on "
-                            "the copy stream during the simulation and "
-                            "reports measured peak reduction + stall time "
-                            "next to the policy's predictions; use >=4 "
-                            "iterations to see steady-state behavior")
+                            "(off, planner, swap_advisor, zero_offload, lru, "
+                            "unified): the engine actually evicts/prefetches "
+                            "blocks on the copy stream during the simulation "
+                            "and reports measured peak reduction + stall "
+                            "time next to the policy's predictions; unified "
+                            "additionally rematerializes activations when "
+                            "replaying the producer is cheaper than the "
+                            "transfer; use >=4 iterations to see "
+                            "steady-state behavior")
     sweep.add_argument("--seeds", default="0", help="comma-separated RNG seeds")
     sweep.add_argument("--dataset", default="two_cluster",
                        choices=sorted(DATASET_PRESETS))
@@ -161,8 +165,12 @@ def _build_parser() -> argparse.ArgumentParser:
                             "transfers behind")
     sweep.add_argument("--num-layers", type=int, default=None,
                        help="number of hidden layers (mlp models only)")
-    sweep.add_argument("--device-memory-gib", type=float, default=None,
-                       help="override the device memory capacity (GiB)")
+    sweep.add_argument("--device-memory-gib", default=None,
+                       help="comma-separated device memory capacities (GiB, "
+                            "floats) — a sweep axis: with --swap on, the "
+                            "executor enforces each capacity (forced "
+                            "evictions + stalls, structured infeasibility); "
+                            "with swap off the allocator is shrunk and OOMs")
     sweep.add_argument("--workers", type=int, default=1,
                        help="worker processes (1 = serial)")
     sweep.add_argument("--cache-dir", default=None, metavar="PATH",
@@ -342,6 +350,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"error: --batch-sizes/--iterations/--seeds/--n-devices must be "
               f"comma-separated integers ({error})", file=sys.stderr)
         return 2
+    try:
+        capacities = ([None] if args.device_memory_gib is None
+                      else [int(gib * GIB) for gib in
+                            _split_csv(args.device_memory_gib, float)])
+    except ValueError as error:
+        print(f"error: --device-memory-gib must be comma-separated numbers "
+              f"({error})", file=sys.stderr)
+        return 2
     if any(n < 1 for n in n_devices):
         print("error: --n-devices entries must be positive", file=sys.stderr)
         return 2
@@ -371,8 +387,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         dataset=args.dataset,
         execution_mode=args.execution_mode,
         model_kwargs=model_kwargs,
-        device_memory_capacity=(int(args.device_memory_gib * GIB)
-                                if args.device_memory_gib is not None else None),
+        device_memory_capacities=capacities,
     )
     scenarios = grid.expand()
     if args.dry_run:
@@ -387,7 +402,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         if args.clear_cache:
             removed = runner.clear_cache()
             print(f"cleared {removed} cached result(s)")
-        result = runner.run(scenarios)
+        try:
+            result = runner.run(scenarios)
+        except (InfeasibleScenarioError, OutOfMemoryError) as error:
+            print(f"error: a scenario does not fit its --device-memory-gib "
+                  f"capacity: {error}", file=sys.stderr)
+            return 1
 
     if args.as_json:
         print(json_module.dumps(result.rows(), indent=2, default=str))

@@ -34,6 +34,13 @@ class MemoryEventKind(enum.Enum):
     (:meth:`~repro.core.trace.MemoryTrace.resident_bytes_series`) is built
     from them.  New kinds append at the end so the stable integer codes of
     the column store never shift.
+
+    ``RECOMPUTE_DROP`` / ``RECOMPUTE`` are the rematerialization twins of the
+    swap pair: the unified eviction engine discards an activation without any
+    transfer (``recompute_drop``) and later replays its producer's compute
+    cost to bring it back (``recompute``).  Like swap traffic they are
+    runtime actions, excluded from the block-behavior set but included in the
+    residency accounting.
     """
 
     MALLOC = "malloc"
@@ -44,6 +51,8 @@ class MemoryEventKind(enum.Enum):
     SEGMENT_FREE = "segment_free"
     SWAP_OUT = "swap_out"
     SWAP_IN = "swap_in"
+    RECOMPUTE_DROP = "recompute_drop"
+    RECOMPUTE = "recompute"
 
     @property
     def is_access(self) -> bool:
@@ -64,6 +73,11 @@ class MemoryEventKind(enum.Enum):
     def is_swap(self) -> bool:
         """Whether this event is swap traffic emitted by the execution engine."""
         return self in (MemoryEventKind.SWAP_OUT, MemoryEventKind.SWAP_IN)
+
+    @property
+    def is_recompute(self) -> bool:
+        """Whether this event is rematerialization traffic (drop or replay)."""
+        return self in (MemoryEventKind.RECOMPUTE_DROP, MemoryEventKind.RECOMPUTE)
 
 
 class MemoryCategory(enum.Enum):

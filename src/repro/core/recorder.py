@@ -32,6 +32,8 @@ _SEGMENT_ALLOC = KIND_CODES[MemoryEventKind.SEGMENT_ALLOC]
 _SEGMENT_FREE = KIND_CODES[MemoryEventKind.SEGMENT_FREE]
 _SWAP_OUT = KIND_CODES[MemoryEventKind.SWAP_OUT]
 _SWAP_IN = KIND_CODES[MemoryEventKind.SWAP_IN]
+_RECOMPUTE_DROP = KIND_CODES[MemoryEventKind.RECOMPUTE_DROP]
+_RECOMPUTE = KIND_CODES[MemoryEventKind.RECOMPUTE]
 _UNKNOWN_CATEGORY = CATEGORY_CODES[MemoryCategory.UNKNOWN]
 
 
@@ -170,6 +172,24 @@ class TraceRecorder(MemoryEventListener):
         self._note_tape_position()
         self.log.append(_SWAP_IN, self.clock.now_ns, block.block_id, block.address,
                         block.size, CATEGORY_CODES[block.category],
+                        self._current_iteration, block.tag, op)
+
+    def on_recompute_drop(self, block, nbytes: int, op: str) -> None:
+        if not self.enabled:
+            return
+        self._note_tape_position()
+        self.log.append(_RECOMPUTE_DROP, self.clock.now_ns, block.block_id,
+                        block.address, block.size,
+                        CATEGORY_CODES[block.category],
+                        self._current_iteration, block.tag, op)
+
+    def on_recompute(self, block, nbytes: int, op: str) -> None:
+        if not self.enabled:
+            return
+        self._note_tape_position()
+        self.log.append(_RECOMPUTE, self.clock.now_ns, block.block_id,
+                        block.address, block.size,
+                        CATEGORY_CODES[block.category],
                         self._current_iteration, block.tag, op)
 
     def _note_tape_position(self) -> None:

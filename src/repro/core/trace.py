@@ -64,6 +64,8 @@ _READ_CODE = KIND_CODES[MemoryEventKind.READ]
 _WRITE_CODE = KIND_CODES[MemoryEventKind.WRITE]
 _SWAP_OUT_CODE = KIND_CODES[MemoryEventKind.SWAP_OUT]
 _SWAP_IN_CODE = KIND_CODES[MemoryEventKind.SWAP_IN]
+_RECOMPUTE_DROP_CODE = KIND_CODES[MemoryEventKind.RECOMPUTE_DROP]
+_RECOMPUTE_CODE = KIND_CODES[MemoryEventKind.RECOMPUTE]
 
 #: Codes of the paper's four block-level behaviors.
 BLOCK_BEHAVIOR_CODES = np.array(
@@ -72,6 +74,9 @@ BLOCK_BEHAVIOR_CODES = np.array(
 ACCESS_CODES = np.array([_READ_CODE, _WRITE_CODE], dtype=np.int64)
 #: Codes of the swap-engine actions (eviction / restoration).
 SWAP_CODES = np.array([_SWAP_OUT_CODE, _SWAP_IN_CODE], dtype=np.int64)
+#: Codes of the rematerialization actions (drop / compute replay).
+RECOMPUTE_CODES = np.array([_RECOMPUTE_DROP_CODE, _RECOMPUTE_CODE],
+                           dtype=np.int64)
 
 
 @dataclass(frozen=True)
@@ -133,6 +138,22 @@ class EventColumns:
         """Boolean mask of swap traffic (evictions and restorations)."""
         return (self.kind_code == _SWAP_OUT_CODE) | (self.kind_code == _SWAP_IN_CODE)
 
+    @property
+    def is_recompute_drop(self) -> np.ndarray:
+        """Boolean mask of rematerialization discards."""
+        return self.kind_code == _RECOMPUTE_DROP_CODE
+
+    @property
+    def is_recompute(self) -> np.ndarray:
+        """Boolean mask of rematerialization compute replays."""
+        return self.kind_code == _RECOMPUTE_CODE
+
+    @property
+    def is_rematerialization(self) -> np.ndarray:
+        """Boolean mask of rematerialization traffic (drops and replays)."""
+        return ((self.kind_code == _RECOMPUTE_DROP_CODE)
+                | (self.kind_code == _RECOMPUTE_CODE))
+
     def live_deltas(self) -> np.ndarray:
         """Per-event change in live bytes (+size on malloc, -size on free).
 
@@ -148,16 +169,18 @@ class EventColumns:
     def resident_deltas(self) -> np.ndarray:
         """Per-event change in *device-resident* bytes.
 
-        Like :meth:`live_deltas` but swap traffic moves bytes off/onto the
-        device: ``swap_out`` subtracts the block size, ``swap_in`` adds it
-        back.  The swap engine guarantees every eviction is balanced by a
-        restoration (a block freed while swapped out gets a zero-copy
-        ``"discard"`` swap-in immediately before its free event), so the
-        cumulative sum of these deltas is the device-resident footprint over
-        time.
+        Like :meth:`live_deltas` but swap and rematerialization traffic move
+        bytes off/onto the device: ``swap_out``/``recompute_drop`` subtract
+        the block size, ``swap_in``/``recompute`` add it back.  The engine
+        guarantees every eviction is balanced by a restoration (a block freed
+        while off-device gets a zero-copy ``"discard"`` restoration
+        immediately before its free event), so the cumulative sum of these
+        deltas is the device-resident footprint over time.
         """
-        return np.where(self.is_malloc | self.is_swap_in, self.size,
-                        np.where(self.is_free | self.is_swap_out, -self.size, 0))
+        return np.where(self.is_malloc | self.is_swap_in | self.is_recompute,
+                        self.size,
+                        np.where(self.is_free | self.is_swap_out
+                                 | self.is_recompute_drop, -self.size, 0))
 
 
 class ColumnarEventLog:
@@ -524,11 +547,22 @@ class MemoryTrace:
             return False
         return bool(self.columns().is_swap.any())
 
+    def recompute_events(self) -> List[MemoryEvent]:
+        """Rematerialization traffic (``recompute_drop``/``recompute``)."""
+        return [event for event in self.events if event.kind.is_recompute]
+
+    def has_recompute_events(self) -> bool:
+        """Whether the engine executed any rematerialization during this trace."""
+        if self.is_empty:
+            return False
+        return bool(self.columns().is_rematerialization.any())
+
     def resident_bytes_series(self) -> "tuple[np.ndarray, np.ndarray]":
         """``(timestamps_ns, resident_bytes)`` after every residency-changing event.
 
-        Residency-changing events are malloc/free plus the swap engine's
-        ``swap_out``/``swap_in``.  Without swap traffic this is identical to
+        Residency-changing events are malloc/free plus the engine's
+        ``swap_out``/``swap_in`` and ``recompute_drop``/``recompute``.
+        Without engine traffic this is identical to
         :meth:`live_bytes_series`; with it, the series is the footprint that
         actually had to fit on the device — its maximum is the *measured*
         peak a swap plan achieved, compared against the planner's predicted
@@ -537,7 +571,8 @@ class MemoryTrace:
         if self.is_empty:
             return np.array([], dtype=np.int64), np.array([], dtype=np.int64)
         cols = self.columns()
-        mask = cols.is_malloc | cols.is_free | cols.is_swap
+        mask = (cols.is_malloc | cols.is_free | cols.is_swap
+                | cols.is_rematerialization)
         return cols.timestamp_ns[mask], np.cumsum(cols.resident_deltas()[mask])
 
     def peak_resident_bytes(self) -> int:

@@ -56,6 +56,22 @@ class MemoryEventListener:
         copied and ``nbytes`` is 0).
         """
 
+    def on_recompute_drop(self, block: "Block", nbytes: int, op: str) -> None:
+        """The engine discarded ``block`` for later rematerialization.
+
+        No transfer happens — the bytes are simply released from the device
+        footprint; ``op`` names the policy that decided the drop.
+        """
+
+    def on_recompute(self, block: "Block", nbytes: int, op: str) -> None:
+        """The engine rematerialized ``block`` by replaying its producer.
+
+        ``op`` is ``"demand"`` when the replay stalled the device before an
+        access, ``"discard"`` when the block was freed while dropped (nothing
+        is recomputed and ``nbytes`` is 0), or ``"shutdown"`` for end-of-run
+        bookkeeping restores.
+        """
+
 
 class NullListener(MemoryEventListener):
     """A listener that ignores everything (the default when not profiling)."""
@@ -111,6 +127,14 @@ class CompositeListener(MemoryEventListener):
         for listener in self._listeners:
             listener.on_swap_in(block, nbytes, op)
 
+    def on_recompute_drop(self, block: "Block", nbytes: int, op: str) -> None:
+        for listener in self._listeners:
+            listener.on_recompute_drop(block, nbytes, op)
+
+    def on_recompute(self, block: "Block", nbytes: int, op: str) -> None:
+        for listener in self._listeners:
+            listener.on_recompute(block, nbytes, op)
+
 
 class CountingListener(MemoryEventListener):
     """A tiny listener that counts behaviors; useful in tests and sanity checks."""
@@ -124,6 +148,8 @@ class CountingListener(MemoryEventListener):
         self.segment_frees = 0
         self.swap_outs = 0
         self.swap_ins = 0
+        self.recompute_drops = 0
+        self.recomputes = 0
 
     def on_malloc(self, block: "Block", requested_size: int) -> None:
         self.mallocs += 1
@@ -148,6 +174,12 @@ class CountingListener(MemoryEventListener):
 
     def on_swap_in(self, block: "Block", nbytes: int, op: str) -> None:
         self.swap_ins += 1
+
+    def on_recompute_drop(self, block: "Block", nbytes: int, op: str) -> None:
+        self.recompute_drops += 1
+
+    def on_recompute(self, block: "Block", nbytes: int, op: str) -> None:
+        self.recomputes += 1
 
     @property
     def total_behaviors(self) -> int:

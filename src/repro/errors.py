@@ -42,6 +42,36 @@ class OutOfMemoryError(DeviceError):
                 (self.requested, self.free, self.reserved, self.capacity))
 
 
+class InfeasibleScenarioError(DeviceError):
+    """Raised when even full eviction cannot fit the working set.
+
+    The capacity-governed swap executor degrades gracefully under pressure
+    (forced LRU eviction with stall accounting), so a scenario whose peak
+    merely exceeds ``device_memory_capacity`` still completes.  This error is
+    the structured end of that road: the bytes that must be simultaneously
+    resident (the incoming block plus everything pinned by the current
+    access) exceed the capacity, so no eviction schedule can make the
+    scenario feasible.
+    """
+
+    def __init__(self, requested: int, resident: int, evictable: int,
+                 capacity: int):
+        self.requested = int(requested)
+        self.resident = int(resident)
+        self.evictable = int(evictable)
+        self.capacity = int(capacity)
+        super().__init__(
+            f"Scenario infeasible at capacity {capacity} bytes: the working "
+            f"set needs {requested} incoming bytes on top of {resident} "
+            f"resident bytes of which only {evictable} are evictable"
+        )
+
+    def __reduce__(self):
+        """Pickle via the keyword fields (sweep workers ship these in-band)."""
+        return (InfeasibleScenarioError,
+                (self.requested, self.resident, self.evictable, self.capacity))
+
+
 class InvalidFreeError(DeviceError):
     """Raised when freeing a pointer the allocator does not own."""
 

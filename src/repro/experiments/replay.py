@@ -496,6 +496,7 @@ class TraceTemplate:
             "n_devices": config.n_devices,
             "interconnect": config.interconnect,
             "swap": config.swap,
+            "device_memory_capacity": config.device_memory_capacity,
             "execution_mode": config.execution_mode,
             "seed": config.seed,
         }

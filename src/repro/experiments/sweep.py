@@ -27,11 +27,17 @@ all share one execution path.
 Sweep axes
 ----------
 ``models x batch_sizes x iterations x allocators x device_specs x dtypes x
-n_devices x interconnects x swaps x host_dispatch_overheads_ns x seeds x
-swap_policies``.  The ``swaps`` axis turns the closed-loop swap-execution
-engine (:mod:`repro.swap`) on inside each scenario (``off``, ``planner``,
-``swap_advisor``, ``zero_offload``, ``lru``) — results then carry the
-engine's measured stall/peak numbers next to the policy's predictions.
+n_devices x interconnects x swaps x device_memory_capacities x
+host_dispatch_overheads_ns x seeds x swap_policies``.  The ``swaps`` axis
+turns the closed-loop swap-execution engine (:mod:`repro.swap`) on inside
+each scenario (``off``, ``planner``, ``swap_advisor``, ``zero_offload``,
+``lru``, ``unified``) — results then carry the engine's measured stall/peak
+numbers next to the policy's predictions.  The ``device_memory_capacities``
+axis runs each scenario under a hard capacity: with the swap engine on, the
+executor's capacity governor enforces it (forced evictions with stall
+accounting, a structured :class:`~repro.errors.InfeasibleScenarioError`
+when infeasible); with swap off, the allocator itself is shrunk and OOMs
+raw — together they trace a feasibility frontier.
 The policy axis is backed by the :mod:`repro.baselines`
 registry (swapping variants, recomputation, parameter compression); the
 dtype axis sets the device's default training precision; the device axis
@@ -95,7 +101,11 @@ from ..units import MIB
 #:     pinned bit-identical to fresh symbolic runs and share their cache
 #:     entries; the bump guards against any pre-replay entry produced while
 #:     the per-scenario reduction was being factored out.
-RESULT_SCHEMA_VERSION = 6
+#: v7: unified keep/swap/recompute policy and real capacity pressure:
+#:     ``device_memory_capacity`` became the ``device_memory_capacities``
+#:     sweep axis, scenario identities carry the capacity, and swap-execution
+#:     summaries gained recompute/pressure counters.
+RESULT_SCHEMA_VERSION = 7
 
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "REPRO_SWEEP_CACHE"
@@ -177,10 +187,12 @@ class Scenario:
     def describe(self) -> str:
         """One-line description used by ``repro sweep --dry-run``."""
         c = self.config
+        capacity = ("" if c.device_memory_capacity is None
+                    else f" cap={c.device_memory_capacity}")
         return (f"{c.model}/{c.dataset} batch={c.batch_size} iters={c.iterations} "
                 f"alloc={c.allocator} swap={self.swap_policy} device={c.device_spec} "
                 f"dtype={c.dtype} ndev={c.n_devices} link={c.interconnect} "
-                f"swap_exec={c.swap} mode={c.execution_mode}")
+                f"swap_exec={c.swap}{capacity} mode={c.execution_mode}")
 
 
 @dataclass
@@ -202,6 +214,7 @@ class SweepGrid:
     n_devices: Sequence[int] = (1,)
     interconnects: Sequence[str] = ("pcie_gen3",)
     swaps: Sequence[str] = ("off",)
+    device_memory_capacities: Sequence[Optional[int]] = (None,)
     host_dispatch_overheads_ns: Sequence[Optional[int]] = (None,)
     seeds: Sequence[int] = (0,)
     # shared scalars
@@ -211,7 +224,6 @@ class SweepGrid:
     dataset_kwargs: Dict[str, object] = field(default_factory=dict)
     optimizer: str = "sgd"
     allreduce_algorithm: str = "ring"
-    device_memory_capacity: Optional[int] = None
     host_latency: Optional[object] = None  # HostLatencyModel
 
     def size(self) -> int:
@@ -220,7 +232,7 @@ class SweepGrid:
                 * len(self.allocators) * len(self.swap_policies)
                 * len(self.device_specs) * len(self.dtypes)
                 * len(self.n_devices) * len(self.interconnects)
-                * len(self.swaps)
+                * len(self.swaps) * len(self.device_memory_capacities)
                 * len(self.host_dispatch_overheads_ns) * len(self.seeds))
 
     def expand(self) -> List[Scenario]:
@@ -247,11 +259,13 @@ class SweepGrid:
         axes = itertools.product(
             self.models, self.batch_sizes, self.iterations, self.allocators,
             self.device_specs, self.dtypes, self.n_devices, self.interconnects,
-            self.swaps, self.host_dispatch_overheads_ns, self.seeds,
+            self.swaps, self.device_memory_capacities,
+            self.host_dispatch_overheads_ns, self.seeds,
             self.swap_policies,
         )
         for (model, batch_size, iterations, allocator, device_spec, dtype,
-             n_devices, interconnect, swap, overhead, seed, policy) in axes:
+             n_devices, interconnect, swap, capacity, overhead, seed,
+             policy) in axes:
             config = TrainingRunConfig(
                 model=model,
                 model_kwargs=dict(self.model_kwargs),
@@ -266,7 +280,7 @@ class SweepGrid:
                 execution_mode=execution_mode,
                 seed=seed,
                 host_latency=self.host_latency,
-                device_memory_capacity=self.device_memory_capacity,
+                device_memory_capacity=capacity,
                 host_dispatch_overhead_ns=overhead,
                 n_devices=n_devices,
                 interconnect=interconnect,
@@ -358,6 +372,12 @@ class ScenarioResult:
                 float(execution.get("measured_savings_bytes", 0)) / MIB, 2),
             "swap_predicted_mib": round(
                 float(predicted.get("savings_bytes", 0) or 0) / MIB, 2),
+            "recompute_ms": round(
+                float(execution.get("recompute_ns_per_iteration", 0.0)) / 1e6, 3),
+            "pressure_stall_ms": round(
+                float(execution.get("pressure_stall_ns", 0.0)) / 1e6, 3),
+            "peak_resident_mib": round(
+                float(execution.get("peak_resident_bytes", 0)) / MIB, 2),
         })
         return row
 
@@ -440,6 +460,7 @@ def reduce_session(scenario: Scenario, bandwidths: BandwidthConfig,
             "n_devices": config.n_devices,
             "interconnect": config.interconnect,
             "swap": config.swap,
+            "device_memory_capacity": config.device_memory_capacity,
             "execution_mode": config.execution_mode,
             "seed": config.seed,
         },

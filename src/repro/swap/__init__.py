@@ -32,6 +32,19 @@ Policies (see :data:`EXECUTION_POLICIES`):
     An online budget policy: whenever the resident footprint exceeds a
     budget, the least-recently-accessed blocks are evicted; evicted blocks
     are demand-fetched on access.
+``unified``
+    Capuchin-style unified eviction: every peak-covering candidate is
+    resolved to keep, swap or *recompute* by comparing the Eq.-1 transfer
+    round trip against the block's recorded producer compute time.
+    Recompute drops emit ``recompute_drop`` / ``recompute`` trace events and
+    replay the producer's kernel time on the compute stream.
+
+When the executor is built with ``capacity_bytes`` it also *governs* the
+device footprint: any event that would push the resident bytes over the
+capacity first force-evicts least-recently-used blocks (stalling the clock
+for the transfers), and a working set that cannot fit even with full
+eviction raises a structured
+:class:`~repro.errors.InfeasibleScenarioError` instead of a raw OOM.
 """
 
 from .executor import SwapExecutor, SwapExecutionSummary
@@ -42,6 +55,7 @@ from .policies import (
     PlannerExecutionPolicy,
     SwapAdvisorExecutionPolicy,
     SwapExecutionPolicy,
+    UnifiedExecutionPolicy,
     ZeroOffloadExecutionPolicy,
     available_execution_policies,
     get_execution_policy,
@@ -56,6 +70,7 @@ __all__ = [
     "SwapExecutionPolicy",
     "SwapExecutionSummary",
     "SwapExecutor",
+    "UnifiedExecutionPolicy",
     "ZeroOffloadExecutionPolicy",
     "available_execution_policies",
     "get_execution_policy",

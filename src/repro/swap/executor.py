@@ -44,6 +44,25 @@ Ordering guarantees (they keep the trace's residency accounting exact):
   balanced;
 * post-access evictions are deferred to the next listener callback, so the
   ``swap_out`` lands *after* the triggering access in the event stream.
+
+Two further mechanisms ride on the same machinery:
+
+* **rematerialization** — a directive flagged ``recompute`` drops the block
+  with no transfer at all (``recompute_drop`` event) and the next access
+  replays the block's recorded producer compute time on the device's compute
+  stream (``recompute`` event) instead of fetching bytes over the link.  The
+  producer cost is learned during warm-up: a block's first write after its
+  malloc closes its producing kernel, so the elapsed time since the previous
+  listener event *is* that kernel's duration;
+* **capacity governance** — when the executor is constructed with
+  ``capacity_bytes``, every residency increase first force-evicts
+  least-recently-accessed blocks until the incoming bytes fit, stalling the
+  device until the relieving copy-out completes.  The invariant is enforced
+  from the first event (warm-up included), so the measured resident peak can
+  never exceed the configured device memory; when even evicting everything
+  cannot make room, a structured
+  :class:`~repro.errors.InfeasibleScenarioError` is raised instead of a raw
+  allocator OOM.
 """
 
 from __future__ import annotations
@@ -54,6 +73,7 @@ from typing import Dict, List, Optional, Union
 from ..core.events import MemoryCategory
 from ..core.swap import BandwidthConfig
 from ..device.hooks import MemoryEventListener
+from ..errors import InfeasibleScenarioError
 from .policies import EvictDirective, SwapExecutionPolicy, get_execution_policy
 
 
@@ -82,6 +102,9 @@ class BlockState:
     best_gap_phase_ns: int = 0               # opening access offset in its iteration
     best_gap_crosses: bool = False           # gap spans an iteration boundary
     gap_tainted: bool = False                # next gap includes swap distortion
+    compute_ns: Optional[int] = None         # producer kernel duration (learned)
+    pending_first_write: bool = False        # next access may close the producer
+    dropped_for_recompute: bool = False      # off-device awaiting rematerialization
 
 
 @dataclass
@@ -121,6 +144,14 @@ class SwapExecutionSummary:
     peak_resident_bytes: int          # over the active (swapping) iterations
     peak_live_bytes: int              # allocation peak over the same iterations
     warmup_peak_bytes: int            # the unswapped warm-up footprint
+    recompute_drop_count: int = 0
+    recompute_count: int = 0
+    bytes_recompute_dropped: int = 0
+    bytes_recomputed: int = 0
+    recompute_ns_total: int = 0       # clock time spent replaying producers
+    pressure_evictions: int = 0       # forced LRU evictions under capacity
+    pressure_stall_ns: int = 0        # waits for forced copy-outs to clear
+    capacity_bytes: Optional[int] = None
     predicted: Optional[Dict[str, object]] = None
 
     @property
@@ -147,6 +178,13 @@ class SwapExecutionSummary:
             return 0.0
         return self.stall_ns_total / self.active_iterations
 
+    @property
+    def recompute_ns_per_iteration(self) -> float:
+        """Measured rematerialization time normalized per swapping iteration."""
+        if self.active_iterations == 0:
+            return 0.0
+        return self.recompute_ns_total / self.active_iterations
+
     def to_dict(self) -> Dict[str, object]:
         """Serialize for scenario results and reports."""
         return {
@@ -170,6 +208,15 @@ class SwapExecutionSummary:
             "warmup_peak_bytes": self.warmup_peak_bytes,
             "measured_savings_bytes": self.measured_savings_bytes,
             "measured_savings_fraction": self.measured_savings_fraction,
+            "recompute_drop_count": self.recompute_drop_count,
+            "recompute_count": self.recompute_count,
+            "bytes_recompute_dropped": self.bytes_recompute_dropped,
+            "bytes_recomputed": self.bytes_recomputed,
+            "recompute_ns_total": self.recompute_ns_total,
+            "recompute_ns_per_iteration": self.recompute_ns_per_iteration,
+            "pressure_evictions": self.pressure_evictions,
+            "pressure_stall_ns": self.pressure_stall_ns,
+            "capacity_bytes": self.capacity_bytes,
             "predicted": self.predicted,
         }
 
@@ -198,11 +245,18 @@ class SwapExecutor(MemoryEventListener):
     bandwidths:
         Eq.-1 bandwidths for the policy's predictions; defaults to the
         device spec's (the transfers themselves always use the spec).
+    capacity_bytes:
+        When set, the executor governs a hard device-memory capacity: any
+        residency increase that would exceed it first force-evicts
+        least-recently-accessed blocks (with the stall of waiting for the
+        copy-out), and :class:`~repro.errors.InfeasibleScenarioError` is
+        raised when even full eviction cannot make room.
     """
 
     def __init__(self, device, policy: Union[str, SwapExecutionPolicy],
                  warmup_iterations: int = 1, prefetch_margin_ns: int = 0,
-                 bandwidths: Optional[BandwidthConfig] = None):
+                 bandwidths: Optional[BandwidthConfig] = None,
+                 capacity_bytes: Optional[int] = None):
         self.device = device
         self.policy = (get_execution_policy(policy)
                        if isinstance(policy, str) else policy)
@@ -210,6 +264,8 @@ class SwapExecutor(MemoryEventListener):
         self.prefetch_margin_ns = max(0, int(prefetch_margin_ns))
         self.bandwidths = (bandwidths if bandwidths is not None
                            else BandwidthConfig.from_device_spec(device.spec))
+        self.capacity_bytes = (None if capacity_bytes is None
+                               else int(capacity_bytes))
         self._states: Dict[int, BlockState] = {}
         self._deferred: List[EvictDirective] = []
         self._active = False
@@ -222,6 +278,7 @@ class SwapExecutor(MemoryEventListener):
         self._live_bytes = 0
         self._peak_resident_active = 0
         self._peak_live_active = 0
+        self._peak_resident_overall = 0
         self._learning_frozen = False
         self._plan_frozen = False
         self._steady_started = False
@@ -249,6 +306,18 @@ class SwapExecutor(MemoryEventListener):
         self.bytes_swapped_in = 0
         self.stall_ns_total = 0
         self.copy_busy_ns = 0
+        self.recompute_drop_count = 0
+        self.recompute_count = 0
+        self.bytes_recompute_dropped = 0
+        self.bytes_recomputed = 0
+        self.recompute_ns_total = 0
+        self.pressure_evictions = 0
+        self.pressure_stall_ns = 0
+        # timestamp of the previous listener event: the gap between a block's
+        # malloc-adjacent first write and the event before it is exactly its
+        # producing kernel's duration (the clock only advances inside the
+        # kernel between those two points).
+        self._last_event_ns = device.clock.now_ns
 
     # -- introspection -----------------------------------------------------------------
 
@@ -279,6 +348,15 @@ class SwapExecutor(MemoryEventListener):
 
     def summary(self) -> SwapExecutionSummary:
         """The measured outcome so far (plus the policy's prediction)."""
+        if self.capacity_bytes is not None:
+            # Under capacity governance the invariant spans the whole run
+            # (warm-up included), so the honest measured peak is the overall
+            # resident maximum — which the governor kept at or below capacity.
+            peak_resident = self._peak_resident_overall
+        elif self._active:
+            peak_resident = self._peak_resident_active
+        else:
+            peak_resident = self._warmup_peak_bytes
         return SwapExecutionSummary(
             policy=self.policy.name,
             active_iterations=self.active_iterations,
@@ -294,11 +372,18 @@ class SwapExecutor(MemoryEventListener):
             bytes_swapped_in=self.bytes_swapped_in,
             stall_ns_total=self.stall_ns_total,
             copy_busy_ns=self.copy_busy_ns,
-            peak_resident_bytes=(self._peak_resident_active if self._active
-                                 else self._warmup_peak_bytes),
+            peak_resident_bytes=peak_resident,
             peak_live_bytes=(self._peak_live_active if self._active
                              else self._warmup_peak_bytes),
             warmup_peak_bytes=self._warmup_peak_bytes,
+            recompute_drop_count=self.recompute_drop_count,
+            recompute_count=self.recompute_count,
+            bytes_recompute_dropped=self.bytes_recompute_dropped,
+            bytes_recomputed=self.bytes_recomputed,
+            recompute_ns_total=self.recompute_ns_total,
+            pressure_evictions=self.pressure_evictions,
+            pressure_stall_ns=self.pressure_stall_ns,
+            capacity_bytes=self.capacity_bytes,
             predicted=self.policy.predicted,
         )
 
@@ -378,8 +463,13 @@ class SwapExecutor(MemoryEventListener):
             # the measured resident peak must not see this restoration.
             self._resident_bytes += state.size
             self.shutdown_restores += 1
-            self.swap_in_count += 1
-            self.device.listeners.on_swap_in(state.block, 0, "shutdown")
+            if state.dropped_for_recompute:
+                state.dropped_for_recompute = False
+                self.recompute_count += 1
+                self.device.listeners.on_recompute(state.block, 0, "shutdown")
+            else:
+                self.swap_in_count += 1
+                self.device.listeners.on_swap_in(state.block, 0, "shutdown")
 
     # -- listener hooks ----------------------------------------------------------------
 
@@ -395,21 +485,25 @@ class SwapExecutor(MemoryEventListener):
         state.block = block
         state.freed = False
         state.pending_ready_ns = None
+        state.dropped_for_recompute = False
+        state.pending_first_write = not self._learning_frozen
+        # Relieve pressure *before* the allocation lands — an allocator
+        # under pressure frees space first — so the overshoot never shows
+        # up in the resident peak (the swap_out events also precede the
+        # malloc event in the trace).
+        state.resident = False
         if self._active:
-            # Relieve pressure *before* the allocation lands — an allocator
-            # under pressure frees space first — so the overshoot never shows
-            # up in the resident peak (the swap_out events also precede the
-            # malloc event in the trace).
-            state.resident = False
             resident = (s for s in self._states.values()
                         if s.resident and not s.freed)
             for directive in self.policy.directives_on_pressure(
                     resident, self._resident_bytes + block.size, state):
                 self._evict(directive)
+        self._enforce_capacity(block.size)
         state.resident = True
         self._bump_live(block.size)
         self._bump_resident(block.size)
         self._sample_live()
+        self._last_event_ns = self.device.clock.now_ns
 
     def on_free(self, block) -> None:
         self._flush_deferred()
@@ -417,36 +511,46 @@ class SwapExecutor(MemoryEventListener):
         if state is None or state.freed:
             return
         if not state.resident:
-            # Freed while swapped out: nothing comes back over the link, but
-            # the residency books must balance before the free event lands.
+            # Freed while off-device: nothing comes back over the link (or
+            # gets recomputed), but the residency books must balance before
+            # the free event lands.  The restoration is bookkeeping only, so
+            # it bypasses the peak trackers — a transient that never holds
+            # real bytes must not count against the capacity invariant.
             state.resident = True
             state.pending_ready_ns = None
-            self._bump_resident(state.size)
+            self._resident_bytes += state.size
             self.discards += 1
-            self.swap_in_count += 1
-            self.device.listeners.on_swap_in(state.block, 0, "discard")
+            if state.dropped_for_recompute:
+                state.dropped_for_recompute = False
+                self.recompute_count += 1
+                self.device.listeners.on_recompute(state.block, 0, "discard")
+            else:
+                self.swap_in_count += 1
+                self.device.listeners.on_swap_in(state.block, 0, "discard")
         self._resident_bytes -= state.size
         self._live_bytes -= state.size
         self._sample_live()
         state.freed = True
         state.resident = False
         state.gap_tainted = False
+        state.pending_first_write = False
         # A gap must never span a free/malloc round trip: once the block is
         # freed its bytes are gone, so there is nothing left to swap during
         # the idle time — unlike the paper's analysis-level ATIs, execution
         # windows are constrained to a single lifetime.
         state.prev_access_ns = None
         state.prev_access_iteration = None
+        self._last_event_ns = self.device.clock.now_ns
 
     def on_read(self, block, nbytes: int, op: str) -> None:
-        self._on_access(block)
+        self._on_access(block, is_write=False)
 
     def on_write(self, block, nbytes: int, op: str) -> None:
-        self._on_access(block)
+        self._on_access(block, is_write=True)
 
     # -- core mechanics ----------------------------------------------------------------
 
-    def _on_access(self, block) -> None:
+    def _on_access(self, block, is_write: bool = False) -> None:
         self._flush_deferred()
         state = self._states.get(block.block_id)
         if state is None:
@@ -457,9 +561,20 @@ class SwapExecutor(MemoryEventListener):
             self._states[block.block_id] = state
             self._bump_live(block.size)
             self._bump_resident(block.size)
-        if not state.resident and not state.freed:
+        was_nonresident = not state.resident and not state.freed
+        if was_nonresident:
             self._ensure_resident(state)
         now = self.device.clock.now_ns
+        if state.pending_first_write:
+            # A lifetime's first access, when it is a write, closes the
+            # kernel that produced the block: the clock only advanced inside
+            # that kernel since the previous listener event, so the elapsed
+            # time is the producer's duration — the recompute cost.  A
+            # first *read* means the block was filled some other way (e.g.
+            # a host staging copy); it is not rematerializable by replay.
+            if is_write and not self._learning_frozen and not was_nonresident:
+                state.compute_ns = max(0, now - self._last_event_ns)
+            state.pending_first_write = False
         in_iteration = self._iteration_index is not None
         state.iter_access_count += 1
         if (state.iter_access_count == 1 and in_iteration
@@ -486,13 +601,17 @@ class SwapExecutor(MemoryEventListener):
         state.prev_access_phase_ns = (now - self._iteration_start_ns
                                       if in_iteration else 0)
         state.last_access_ns = now
+        self._last_event_ns = now
         if self._active:
             directive = self.policy.directive_after_access(state)
             if directive is not None:
                 self._deferred.append(directive)
 
     def _ensure_resident(self, state: BlockState) -> None:
-        """Restore a swapped-out block before the access that needs it."""
+        """Restore an off-device block before the access that needs it."""
+        if state.dropped_for_recompute:
+            self._rematerialize(state)
+            return
         now = self.device.clock.now_ns
         nbytes = state.swapped_copy_bytes or state.size
         if state.pending_ready_ns is not None:
@@ -526,6 +645,7 @@ class SwapExecutor(MemoryEventListener):
             for directive in self.policy.directives_on_pressure(
                     resident, self._resident_bytes + state.size, state):
                 self._evict(directive)
+        self._enforce_capacity(state.size)
         state.pending_ready_ns = None
         state.resident = True
         self._bump_resident(state.size)
@@ -533,11 +653,59 @@ class SwapExecutor(MemoryEventListener):
         self.bytes_swapped_in += nbytes
         self.device.listeners.on_swap_in(state.block, nbytes, op)
 
-    def _evict(self, directive: EvictDirective) -> None:
-        """Execute one eviction directive (no-op if the block moved on)."""
+    def _rematerialize(self, state: BlockState) -> None:
+        """Replay a dropped block's producer before the access that needs it.
+
+        No bytes cross the link: the device spends the recorded producer
+        duration on its compute stream (a synchronous replay — the access
+        cannot proceed without the data), the clock advances by exactly that
+        cost, and the block is resident again.  First-order model: the
+        producer's own inputs are assumed reachable (checkpointing always
+        keeps enough upstream state for a single replay).
+        """
+        cost = int(state.compute_ns or 0)
+        if cost > 0:
+            self.device.compute_stream.schedule(
+                cost, name=f"recompute:{state.tag}")
+            self.device.clock.advance(cost)
+            self.recompute_ns_total += cost
+        if self._active:
+            resident = (s for s in self._states.values()
+                        if s.resident and not s.freed)
+            for directive in self.policy.directives_on_pressure(
+                    resident, self._resident_bytes + state.size, state):
+                self._evict(directive)
+        self._enforce_capacity(state.size)
+        state.dropped_for_recompute = False
+        state.resident = True
+        self._bump_resident(state.size)
+        self.recompute_count += 1
+        self.bytes_recomputed += state.size
+        self.device.listeners.on_recompute(state.block, state.size, "demand")
+
+    def _evict(self, directive: EvictDirective):
+        """Execute one eviction directive (no-op if the block moved on).
+
+        Returns the device→host copy record for swap evictions (so capacity
+        governance can stall until the bytes actually left), ``None`` for
+        recompute drops and no-ops.
+        """
         state = self._states.get(directive.block_id)
         if state is None or state.freed or not state.resident:
-            return
+            return None
+        if directive.recompute:
+            # Rematerialization drop: the bytes simply vanish — no transfer,
+            # no prefetch; the block's next access replays its producer.
+            state.resident = False
+            state.dropped_for_recompute = True
+            state.gap_tainted = True
+            state.pending_ready_ns = None
+            self._resident_bytes -= state.size
+            self.recompute_drop_count += 1
+            self.bytes_recompute_dropped += state.size
+            self.device.listeners.on_recompute_drop(state.block, state.size,
+                                                    self.policy.name)
+            return None
         now = self.device.clock.now_ns
         copy_bytes = (directive.copy_bytes if directive.copy_bytes is not None
                       else state.size)
@@ -563,6 +731,50 @@ class SwapExecutor(MemoryEventListener):
             self.prefetches_scheduled += 1
         self.device.listeners.on_swap_out(state.block, copy_bytes,
                                           self.policy.name)
+        return out
+
+    def _enforce_capacity(self, incoming: int) -> None:
+        """Make room for ``incoming`` bytes under the capacity invariant.
+
+        Force-evicts resident blocks in least-recently-accessed order (the
+        caller has already marked the incoming block non-resident, so it can
+        never evict itself) until ``resident + incoming <= capacity``, then
+        stalls the device until the relieving copy-outs complete — memory is
+        not reusable before the bytes have left.  Raises
+        :class:`~repro.errors.InfeasibleScenarioError` up-front when even
+        evicting every resident block cannot make room.
+        """
+        capacity = self.capacity_bytes
+        if capacity is None:
+            return
+        excess = self._resident_bytes + incoming - capacity
+        if excess <= 0:
+            return
+        candidates = [state for state in self._states.values()
+                      if state.resident and not state.freed]
+        evictable = sum(state.size for state in candidates)
+        if excess > evictable:
+            raise InfeasibleScenarioError(
+                requested=incoming, resident=self._resident_bytes,
+                evictable=evictable, capacity=capacity)
+        candidates.sort(key=lambda state: state.last_access_ns)
+        now = self.device.clock.now_ns
+        wait_until = now
+        for state in candidates:
+            if excess <= 0:
+                break
+            out = self._evict(EvictDirective(block_id=state.block_id))
+            if state.resident:
+                continue
+            self.pressure_evictions += 1
+            excess -= state.size
+            if out is not None and out.end_ns > wait_until:
+                wait_until = out.end_ns
+        stall = wait_until - now
+        if stall > 0:
+            self.device.clock.advance(stall)
+            self.stall_ns_total += stall
+            self.pressure_stall_ns += stall
 
     def _flush_deferred(self) -> None:
         """Run post-access evictions queued by the previous event."""
@@ -576,6 +788,8 @@ class SwapExecutor(MemoryEventListener):
         self._resident_bytes += size
         if self._active and self._resident_bytes > self._peak_resident_active:
             self._peak_resident_active = self._resident_bytes
+        if self._resident_bytes > self._peak_resident_overall:
+            self._peak_resident_overall = self._resident_bytes
 
     def _bump_live(self, size: int) -> None:
         self._live_bytes += size

@@ -16,6 +16,7 @@ regression in the test suite pins that agreement.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Tuple
 
@@ -45,11 +46,17 @@ class EvictDirective:
         Bytes actually transferred per direction (defaults to the block
         size).  ZeRO-style partitioning moves only ``size / world_size`` per
         rank while the whole block still leaves the device footprint.
+    recompute:
+        When set the block is *dropped* rather than swapped: no transfer in
+        either direction, and the next access replays the block's recorded
+        producer compute time instead of fetching bytes (``prefetch_gap_ns``
+        and ``copy_bytes`` are ignored).
     """
 
     block_id: int
     prefetch_gap_ns: Optional[int] = None
     copy_bytes: Optional[int] = None
+    recompute: bool = False
 
 
 class SwapExecutionPolicy:
@@ -146,19 +153,31 @@ class _Trigger:
     gap_ns: int
     ordinal: int          # opening-access ordinal (within-iteration windows)
     at_iteration_end: bool
+    recompute: bool = False   # drop for rematerialization instead of swapping
 
 
-def _build_triggers(chosen: Iterable["BlockState"]) -> Dict[int, _Trigger]:
+def _build_triggers(chosen: Iterable["BlockState"],
+                    recompute_ids: frozenset = frozenset()) -> Dict[int, _Trigger]:
     """Map selected blocks to their eviction triggers.
 
     Within-iteration windows fire right after the opening access (matched by
     its per-iteration ordinal); boundary-crossing windows fire at
     ``end_iteration``, where no further same-iteration access can misfire.
+    Blocks listed in ``recompute_ids`` are dropped for rematerialization
+    rather than swapped.
     """
     return {state.block_id: _Trigger(gap_ns=int(state.best_gap_ns),
                                      ordinal=state.best_gap_ordinal,
-                                     at_iteration_end=state.best_gap_crosses)
+                                     at_iteration_end=state.best_gap_crosses,
+                                     recompute=state.block_id in recompute_ids)
             for state in chosen}
+
+
+def _directive_for_trigger(trigger: _Trigger, block_id: int) -> EvictDirective:
+    """The eviction directive a trigger fires: recompute drop or swap."""
+    if trigger.recompute:
+        return EvictDirective(block_id=block_id, recompute=True)
+    return EvictDirective(block_id=block_id, prefetch_gap_ns=trigger.gap_ns)
 
 
 def _directive_for_access(triggers: Dict[int, _Trigger],
@@ -168,8 +187,7 @@ def _directive_for_access(triggers: Dict[int, _Trigger],
     if (trigger is None or trigger.at_iteration_end
             or state.iter_access_count != trigger.ordinal):
         return None
-    return EvictDirective(block_id=state.block_id,
-                          prefetch_gap_ns=trigger.gap_ns)
+    return _directive_for_trigger(trigger, state.block_id)
 
 
 def _directives_for_iteration_end(triggers: Dict[int, _Trigger],
@@ -180,8 +198,7 @@ def _directives_for_iteration_end(triggers: Dict[int, _Trigger],
         trigger = triggers.get(state.block_id)
         if trigger is None or not trigger.at_iteration_end:
             continue
-        directives.append(EvictDirective(block_id=state.block_id,
-                                         prefetch_gap_ns=trigger.gap_ns))
+        directives.append(_directive_for_trigger(trigger, state.block_id))
     return directives
 
 
@@ -270,6 +287,208 @@ class PlannerExecutionPolicy(SwapExecutionPolicy):
                                  if plan.peak_bytes_before else 0.0),
             "total_overhead_ns": sum(candidate.overhead_ns for candidate in kept),
             "copy_round_trip_ns": spent,
+        }
+
+    def directive_after_access(self, state: "BlockState") -> Optional[EvictDirective]:
+        return _directive_for_access(self._triggers, state)
+
+    def directives_at_iteration_end(
+            self, resident: Iterable["BlockState"]) -> List[EvictDirective]:
+        return _directives_for_iteration_end(self._triggers, resident)
+
+
+class UnifiedExecutionPolicy(SwapExecutionPolicy):
+    """Capuchin-style unified eviction: keep, swap or recompute per block.
+
+    Every peak-covering idle window is a candidate.  Per candidate the policy
+    compares the Eq.-1 transfer round trip against the block's recorded
+    producer compute time (learned during warm-up from the malloc→first-write
+    span) and picks the cheaper mechanism:
+
+    * **recompute** when the block is a rematerializable activation and the
+      replay cost is at or below the *effective* swap cost — the plain round
+      trip when the copy stream can absorb the transfer, unbounded when the
+      stream budget is spent or the window cannot hide the transfer (Eq.-1
+      infeasible);
+    * **swap** otherwise, while the aggregate round-trip traffic fits the
+      copy-stream utilization budget;
+    * **keep** when neither mechanism applies.
+
+    By construction the covered set is a superset of both single-mechanism
+    plans on the same profile — everything the pure-swap planner would move
+    is covered (by replay when that is cheaper, by transfer otherwise, using
+    the planner's own budget accounting), and every rematerializable
+    candidate is covered — so the predicted (and measured) savings dominate
+    ``max(pure_swap, pure_recompute)``.
+
+    With ``capacity_bytes`` set, blocks the budget would keep are force-added
+    to the swap set (accepting their stall overhead) until the predicted peak
+    fits the capacity; whatever still does not fit is left to the executor's
+    runtime pressure governor.
+    """
+
+    name = "unified"
+
+    #: Only forward activations are rematerializable by producer replay —
+    #: gradients would need the backward graph re-run, and parameters /
+    #: optimizer state have no producer to replay at all.
+    RECOMPUTABLE_CATEGORIES = (MemoryCategory.ACTIVATION,)
+
+    def __init__(self, min_candidate_bytes: int = 32 * MIB,
+                 allow_overhead_ns: float = 0.0,
+                 copy_utilization_cap: float = 0.8,
+                 enable_swap: bool = True,
+                 enable_recompute: bool = True,
+                 capacity_bytes: Optional[int] = None):
+        super().__init__()
+        self.min_candidate_bytes = int(min_candidate_bytes)
+        self.allow_overhead_ns = float(allow_overhead_ns)
+        self.copy_utilization_cap = float(copy_utilization_cap)
+        self.enable_swap = bool(enable_swap)
+        self.enable_recompute = bool(enable_recompute)
+        self.capacity_bytes = (None if capacity_bytes is None
+                               else int(capacity_bytes))
+        self._triggers: Dict[int, _Trigger] = {}
+
+    def _recompute_cost_ns(self, state: "BlockState") -> Optional[int]:
+        """The modeled replay cost, or ``None`` when not rematerializable.
+
+        Boundary-crossing windows are excluded: a block dropped at the end of
+        one iteration would have to be recomputed in the next, where its
+        producer's inputs are gone.
+        """
+        if (state.category in self.RECOMPUTABLE_CATEGORIES
+                and not state.best_gap_crosses
+                and state.compute_ns is not None and state.compute_ns > 0):
+            return int(state.compute_ns)
+        return None
+
+    def plan(self, warmup: "WarmupObservations", bandwidths: BandwidthConfig) -> None:
+        planner = SwapPlanner(bandwidths=bandwidths,
+                              min_candidate_bytes=self.min_candidate_bytes,
+                              allow_overhead_ns=self.allow_overhead_ns)
+        observed = [state for state in warmup.blocks
+                    if state.best_gap_ns > 0
+                    and state.size >= self.min_candidate_bytes
+                    and _covers_peak(state, warmup.peak_phase_ns,
+                                     warmup.iteration_duration_ns)]
+        plan = planner.plan_from_intervals(
+            [_interval_from_observation(state) for state in observed],
+            peak_before=warmup.peak_resident_bytes)
+        budget_ns = self.copy_utilization_cap * warmup.iteration_duration_ns
+
+        # The pure-swap twin's own selection under the same stream budget:
+        # anything it would move, the unified plan also covers — by replay
+        # when that is cheaper, by transfer otherwise — which is what makes
+        # the unified savings dominate both single-mechanism plans.
+        planner_kept_ids = set()
+        planner_spent = 0.0
+        for candidate in plan.selected:
+            if planner_spent + candidate.round_trip_ns > budget_ns:
+                continue
+            planner_spent += candidate.round_trip_ns
+            planner_kept_ids.add(candidate.interval.block_id)
+
+        decisions: List[Dict[str, object]] = []
+        swap_states: List["BlockState"] = []
+        recompute_states: List["BlockState"] = []
+        kept_states: List["BlockState"] = []
+        spent = 0.0
+        feasible_ids = set()
+
+        def decide(state, swap_cost, swap_fits):
+            recompute_cost = (self._recompute_cost_ns(state)
+                              if self.enable_recompute else None)
+            # A candidate the copy stream cannot absorb (or whose window
+            # cannot hide the transfer) has unbounded effective swap cost —
+            # its prefetch would cascade deadline misses — so replay wins
+            # whenever it is available there.
+            effective_swap = swap_cost if swap_fits else math.inf
+            if recompute_cost is not None and recompute_cost <= effective_swap:
+                recompute_states.append(state)
+                mechanism = "recompute"
+            elif swap_fits:
+                swap_states.append(state)
+                mechanism = "swap"
+            else:
+                kept_states.append(state)
+                mechanism = "keep"
+            decisions.append({
+                "block_id": state.block_id,
+                "size": state.size,
+                "tag": state.tag,
+                "mechanism": mechanism,
+                "swap_cost_ns": swap_cost,
+                "effective_swap_cost_ns": effective_swap,
+                "recompute_cost_ns": recompute_cost,
+            })
+            return mechanism
+
+        for candidate in plan.selected:
+            feasible_ids.add(candidate.interval.block_id)
+            state = warmup.by_id[candidate.interval.block_id]
+            swap_cost = float(candidate.round_trip_ns)
+            in_planner = candidate.interval.block_id in planner_kept_ids
+            swap_fits = (self.enable_swap
+                         and (in_planner or spent + swap_cost <= budget_ns))
+            if decide(state, swap_cost, swap_fits) == "swap":
+                spent += swap_cost
+        # Eq.-1-infeasible windows (the gap cannot hide the transfer) can
+        # still be *recomputed* — the replay cost does not ride the link.
+        for state in observed:
+            if state.block_id in feasible_ids:
+                continue
+            decide(state, float(swap_round_trip_ns(state.size, bandwidths)),
+                   swap_fits=False)
+
+        def windows(states):
+            return [(state.best_gap_phase_ns,
+                     state.best_gap_phase_ns + state.best_gap_ns, state.size)
+                    for state in states]
+
+        forced_overhead = 0.0
+        peak_after = _predict_peak_after(
+            windows(swap_states + recompute_states), warmup)
+        if self.capacity_bytes is not None and self.enable_swap:
+            by_id = {decision["block_id"]: decision for decision in decisions}
+            for state in sorted(kept_states, key=lambda s: s.size, reverse=True):
+                if peak_after <= self.capacity_bytes:
+                    break
+                swap_cost = float(swap_round_trip_ns(state.size, bandwidths))
+                spent += swap_cost
+                forced_overhead += max(0.0, swap_cost - state.best_gap_ns)
+                swap_states.append(state)
+                by_id[state.block_id]["mechanism"] = "swap"
+                by_id[state.block_id]["effective_swap_cost_ns"] = swap_cost
+                peak_after = _predict_peak_after(
+                    windows(swap_states + recompute_states), warmup)
+            swapped_ids = {state.block_id for state in swap_states}
+            kept_states = [state for state in kept_states
+                           if state.block_id not in swapped_ids]
+
+        self._triggers = _build_triggers(
+            swap_states + recompute_states,
+            recompute_ids=frozenset(state.block_id
+                                    for state in recompute_states))
+        savings = max(0, plan.peak_bytes_before - peak_after)
+        recompute_overhead = sum(int(state.compute_ns or 0)
+                                 for state in recompute_states)
+        self.predicted = {
+            "num_candidates": len(observed),
+            "num_selected": len(swap_states) + len(recompute_states),
+            "num_swapped": len(swap_states),
+            "num_recomputed": len(recompute_states),
+            "num_kept": len(kept_states),
+            "peak_bytes_before": plan.peak_bytes_before,
+            "peak_bytes_after": peak_after,
+            "savings_bytes": savings,
+            "savings_fraction": (savings / plan.peak_bytes_before
+                                 if plan.peak_bytes_before else 0.0),
+            "total_overhead_ns": recompute_overhead + forced_overhead,
+            "copy_round_trip_ns": spent,
+            "recompute_overhead_ns": recompute_overhead,
+            "capacity_bytes": self.capacity_bytes,
+            "decisions": decisions,
         }
 
     def directive_after_access(self, state: "BlockState") -> Optional[EvictDirective]:
@@ -441,6 +660,7 @@ EXECUTION_POLICIES: Dict[str, Callable[..., SwapExecutionPolicy]] = {
     SwapAdvisorExecutionPolicy.name: SwapAdvisorExecutionPolicy,
     ZeroOffloadExecutionPolicy.name: ZeroOffloadExecutionPolicy,
     LruExecutionPolicy.name: LruExecutionPolicy,
+    UnifiedExecutionPolicy.name: UnifiedExecutionPolicy,
 }
 
 #: The value of the ``--swap`` axis that disables the engine entirely.

@@ -114,9 +114,17 @@ class SessionResult:
 
 
 def build_cluster(config: TrainingRunConfig) -> ClusterSpec:
-    """Construct the cluster specification described by a run configuration."""
+    """Construct the cluster specification described by a run configuration.
+
+    With the swap engine on, ``device_memory_capacity`` is enforced by the
+    executor's capacity governor (forced eviction with stall accounting, a
+    structured :class:`~repro.errors.InfeasibleScenarioError` when even full
+    eviction cannot fit) rather than by shrinking the allocator — the
+    allocator keeps its native capacity so blocks that are merely *swapped
+    out* do not trip a raw OOM while their bytes are on the host.
+    """
     spec: DeviceSpec = get_device_spec(config.device_spec)
-    if config.device_memory_capacity is not None:
+    if config.device_memory_capacity is not None and config.swap == "off":
         spec = spec.with_memory_capacity(config.device_memory_capacity)
     return ClusterSpec(
         device=spec,
@@ -171,10 +179,15 @@ def _build_swap_executors(config: TrainingRunConfig, group: DeviceGroup):
         known = ", ".join(("off",) + tuple(EXECUTION_POLICIES))
         raise ConfigurationError(
             f"unknown swap mode '{config.swap}'; known modes: {known}")
-    kwargs = ({"world_size": len(group)} if config.swap == "zero_offload" else {})
+    kwargs: Dict[str, object] = {}
+    if config.swap == "zero_offload":
+        kwargs["world_size"] = len(group)
+    if config.swap == "unified" and config.device_memory_capacity is not None:
+        kwargs["capacity_bytes"] = int(config.device_memory_capacity)
     executors = []
     for device in group:
-        executor = SwapExecutor(device, get_execution_policy(config.swap, **kwargs))
+        executor = SwapExecutor(device, get_execution_policy(config.swap, **kwargs),
+                                capacity_bytes=config.device_memory_capacity)
         device.attach_swap_executor(executor)
         executors.append(executor)
     return executors

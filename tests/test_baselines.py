@@ -89,6 +89,117 @@ def test_recompute_keep_every_one_discards_nothing():
     assert plan.recompute_time_overhead_ns == 0
 
 
+# -- recorded producer compute times (the recompute cost model) ------------------------
+
+
+def test_per_block_compute_times_recovers_producer_spans():
+    """A block's producer closes with its first post-malloc write; the span
+    back to the previous event in the global stream is the compute time."""
+    from repro.baselines.recompute import per_block_compute_times
+
+    trace = build_trace([
+        ("malloc", 0, 1, 100),
+        ("malloc", 5, 2, 100),
+        ("write", 20, 2, 100),     # producer of block 2: 20 - 5 = 15
+        ("read", 30, 1, 100),      # block 1's first touch is a read: omitted
+        ("malloc", 40, 3, 100),
+        ("write", 70, 3, 100),     # producer of block 3: 70 - 40 = 30
+        ("free", 90, 2, 100),
+        ("free", 95, 3, 100),
+        ("free", 100, 1, 100),
+    ])
+    assert per_block_compute_times(trace) == {2: 15, 3: 30}
+
+
+def test_per_block_compute_times_ignores_later_writes():
+    """Only the *first* write after a malloc is the producer; in-place
+    updates later in the lifetime must not overwrite the learned time."""
+    from repro.baselines.recompute import per_block_compute_times
+
+    trace = build_trace([
+        ("malloc", 0, 1, 100),
+        ("write", 10, 1, 100),     # producer: 10
+        ("write", 500, 1, 100),    # in-place update: ignored
+        ("free", 600, 1, 100),
+    ])
+    assert per_block_compute_times(trace) == {1: 10}
+
+
+def test_recompute_overhead_sums_recorded_times_of_discarded_blocks():
+    """The estimator charges exactly the recorded producer times of what it
+    discards — not a fraction-of-iteration guess."""
+    from repro.baselines.recompute import per_block_compute_times
+
+    us = 1_000
+    spans = [10 * us, 20 * us, 30 * us, 40 * us]
+    events = []
+    marks = []
+    for iteration in range(2):
+        base = (iteration + 1) * 1_000_000_000
+        clock = base
+        for index, span in enumerate(spans):
+            block_id = 10 + index
+            events.append(("malloc", clock, block_id, 64 * MIB,
+                           MemoryCategory.ACTIVATION, iteration))
+            events.append(("write", clock + span, block_id, 64 * MIB,
+                           MemoryCategory.ACTIVATION, iteration))
+            clock += span + 100 * us
+        for index in range(len(spans)):
+            events.append(("free", clock + index, 10 + index, 64 * MIB,
+                           MemoryCategory.ACTIVATION, iteration))
+        marks.append((base, base + 900_000_000))
+    trace = build_trace(events, iteration_marks=marks, end_ns=3_000_000_000)
+
+    computed = per_block_compute_times(trace)
+    assert computed == {10 + i: span for i, span in enumerate(spans)}
+
+    plan = estimate_recompute_plan(trace, keep_every=2)
+    # The expectation, the way the estimator defines it: the recorded
+    # producer times of the discarded (odd-indexed by malloc order) steady
+    # lifetimes, normalized by the steady iteration count.
+    steady = sorted(
+        (lt for lt in trace.lifetimes if lt.iteration >= 1),
+        key=lambda item: item.malloc_ns)
+    expected = sum(computed[lt.block_id]
+                   for index, lt in enumerate(steady) if index % 2 != 0)
+    expected //= len({lt.iteration for lt in steady})
+    assert plan.recompute_time_overhead_ns == expected
+    assert plan.recompute_time_overhead_ns > 0
+
+
+def test_recompute_overhead_falls_back_without_write_timing():
+    """A trace with no usable kernel timing keeps the legacy first-order
+    fraction-of-iteration model."""
+    events = []
+    marks = []
+    for iteration in range(3):
+        base = (iteration + 1) * 1_000_000_000
+        events.append(("malloc", base, 10, 64 * MIB,
+                       MemoryCategory.ACTIVATION, iteration))
+        events.append(("read", base + 500_000_000, 10, 64 * MIB,
+                       MemoryCategory.ACTIVATION, iteration))
+        events.append(("free", base + 600_000_000, 10, 64 * MIB,
+                       MemoryCategory.ACTIVATION, iteration))
+        marks.append((base, base + 900_000_000))
+    trace = build_trace(events, iteration_marks=marks, end_ns=4_000_000_000)
+    plan = estimate_recompute_plan(trace, keep_every=2,
+                                   forward_fraction_of_iteration=0.33)
+    expected = int(900_000_000 * 0.33 * (1.0 - 1.0 / 2))
+    assert plan.recompute_time_overhead_ns == expected
+
+
+def test_recompute_overhead_uses_recorded_times_on_training_trace():
+    """The shared synthetic training trace carries write timing, so the
+    estimator must charge the activation's recorded 10 µs producer — not
+    the ~150 ms fraction-of-iteration guess the old model produced."""
+    trace = make_training_like_trace()
+    plan = estimate_recompute_plan(trace, keep_every=2)
+    # one discarded steady activation lifetime, 10 µs producer span,
+    # normalized over the two steady iterations
+    assert plan.recompute_time_overhead_ns == 10_000 // 2
+    assert plan.recompute_time_overhead_ns < 1_000_000   # not the legacy model
+
+
 def test_pruning_barely_reduces_training_footprint():
     trace = make_training_like_trace()
     estimate = estimate_pruning(trace, sparsity=0.9)

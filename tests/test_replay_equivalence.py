@@ -229,6 +229,30 @@ def test_template_key_rejects_swap_execution():
         template_key(config)
 
 
+def test_template_key_rejects_unified_swap_execution():
+    """The unified keep/swap/recompute engine mutates timing closed-loop, so
+    a template can never serve it — it must refuse, not mis-price."""
+    with pytest.raises(TemplateError):
+        template_key(TrainingRunConfig(model="mlp", swap="unified"))
+    assert compile_template(TrainingRunConfig(model="mlp",
+                                              swap="unified")) is None
+
+
+def test_unified_swap_scenarios_fall_back_to_simulation():
+    """A replay sweep with ``--swap unified`` rows silently simulates them."""
+    grid = replay_grid(host_dispatch_overheads_ns=(None,),
+                       device_specs=("titan_x_pascal",),
+                       swaps=("off", "unified"))
+    result = SweepRunner().run(grid)
+    assert len(result.results) == 2
+    assert result.replayed == 1  # only the swap-off scenario replayed
+    modes = {row.scenario["swap"] for row in result.results}
+    assert modes == {"off", "unified"}
+    unified_row = next(row for row in result.results
+                       if row.scenario["swap"] == "unified")
+    assert unified_row.swap_execution["policy"] == "unified"
+
+
 def test_compile_declines_out_of_envelope_configs():
     assert compile_template(TrainingRunConfig(model="mlp",
                                               execution_mode="eager")) is None

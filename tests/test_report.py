@@ -38,9 +38,9 @@ def test_report_contains_every_figure_page(files):
     slugs = {f"docs/figures/{page}" for page in (
         "fig2_gantt.md", "fig3_ati.md", "fig4_outliers.md", "fig5_breakdown.md",
         "fig6_alexnet.md", "fig7_resnet.md", "ablations.md", "scaling.md",
-        "swap_execution.md")}
+        "swap_execution.md", "feasibility.md")}
     assert slugs <= set(files)
-    assert len(FIGURE_BUILDERS) == 9
+    assert len(FIGURE_BUILDERS) == 10
 
 
 def test_scaling_page_reports_replica_axis(files):
@@ -61,6 +61,16 @@ def test_swap_execution_page_reports_predicted_vs_simulated(files):
     assert "stall_ms_per_iter" in page
     assert "![swap savings](svg/swap_execution_savings.svg)" in page
     assert files["docs/figures/svg/swap_execution_stalls.svg"].startswith("<svg ")
+
+
+def test_feasibility_page_reports_the_frontier(files):
+    page = files["docs/figures/feasibility.md"]
+    assert "--device-memory-gib" in page
+    assert "smallest_feasible_capacity_mib" in page
+    assert "InfeasibleScenarioError" in page
+    assert "pressure" in page or "capacity" in page
+    assert "![feasibility stalls](svg/feasibility_stalls.svg)" in page
+    assert files["docs/figures/svg/feasibility_stalls.svg"].startswith("<svg ")
 
 
 def test_report_tables_expose_the_new_sweep_axes(files):

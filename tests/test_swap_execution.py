@@ -12,6 +12,10 @@ Covers, per the subsystem's contract:
   correctly finds nothing worth swapping at zero overhead) and a deep MLP
   (where the planner hides gigabytes behind compute) must both agree with
   the executed plan within the stated tolerances;
+* the unified keep/swap/recompute policy — ``recompute_drop``/``recompute``
+  event plumbing, the per-block cheaper-mechanism decisions, the learned
+  producer compute times against the offline estimator, and the dominance
+  of the unified measured savings over both single-mechanism plans;
 * eager/symbolic equivalence for a swapped scenario and multi-rank
   (DeviceGroup) execution;
 * the session/sweep/CLI wiring (``config.swap``, the ``swaps`` axis, the
@@ -19,6 +23,9 @@ Covers, per the subsystem's contract:
 """
 
 from __future__ import annotations
+
+import math
+from functools import lru_cache
 
 import numpy as np
 import pytest
@@ -60,12 +67,68 @@ def run_swapped(swap="planner", **overrides):
     return run_training_session(config)
 
 
+@lru_cache(maxsize=None)
+def deep_result(swap):
+    """One deep-MLP session per swap mode, shared across this module's tests."""
+    return run_swapped(swap)
+
+
+def run_manual_policy(policy, **overrides):
+    """Run the deep-MLP config with an explicit policy instance attached.
+
+    Mirrors ``run_training_session``'s wiring (same optimizer, loader and
+    trainer) but lets the test hand the executor a configured policy object
+    — e.g. the pure-recompute twin ``UnifiedExecutionPolicy(enable_swap=False)``
+    that the session-level registry cannot express.
+    """
+    from repro.core.profiler import MemoryProfiler
+    from repro.data.datasets import build_dataset
+    from repro.data.loader import DataLoader
+    from repro.models.registry import build_model
+    from repro.nn.loss import CrossEntropyLoss
+    from repro.nn.optim import SGD
+    from repro.train.session import build_device_group
+    from repro.train.trainer import DataParallelTrainer
+
+    config = TrainingRunConfig(**{**DEEP_MLP, **overrides})
+    group = build_device_group(config)
+    device = group.primary
+    executor = SwapExecutor(device, policy,
+                            capacity_bytes=config.device_memory_capacity)
+    device.attach_swap_executor(executor)
+    profiler = MemoryProfiler(device)
+    profiler.start()
+    model = build_model(config.model, device,
+                        rng=np.random.default_rng(config.seed),
+                        **dict(config.model_kwargs))
+    loader = DataLoader(build_dataset(config.dataset, seed=config.seed),
+                        batch_size=config.batch_size,
+                        host_latency=config.host_latency)
+    trainer = DataParallelTrainer(
+        group, [model], loader,
+        [SGD(model.parameters(), lr=config.learning_rate,
+             momentum=config.momentum)],
+        [CrossEntropyLoss(device, name="loss")],
+        recorders=[profiler], swap_executors=[executor])
+    trainer.train(config.iterations)
+    executor.finalize()
+    profiler.stop()
+    return profiler.trace(), executor.summary()
+
+
+@lru_cache(maxsize=None)
+def pure_recompute_result():
+    """The deep MLP under rematerialization only (no transfers allowed)."""
+    from repro.swap.policies import UnifiedExecutionPolicy
+    return run_manual_policy(UnifiedExecutionPolicy(enable_swap=False))
+
+
 # -- registry / wiring -----------------------------------------------------------------
 
 
 def test_execution_policy_registry():
     assert available_execution_policies() == ("planner", "swap_advisor",
-                                              "zero_offload", "lru")
+                                              "zero_offload", "lru", "unified")
     for name in EXECUTION_POLICIES:
         assert get_execution_policy(name).name == name
     with pytest.raises(ValueError, match="unknown swap execution policy"):
@@ -314,7 +377,7 @@ def test_paper_mlp_planner_predicts_and_measures_nothing():
 
 def test_deep_mlp_planner_predicted_vs_simulated():
     """Where the planner does act, prediction and execution must agree."""
-    result = run_swapped("planner")
+    result = deep_result("planner")
     summary = result.swap_execution
     predicted = summary["predicted"]
     assert summary["swap_out_count"] > 0
@@ -336,7 +399,7 @@ def test_deep_mlp_planner_predicted_vs_simulated():
 def test_deep_mlp_trace_reports_measured_reduction():
     """The acceptance-criterion shape: swap events in the trace plus
     measured-vs-predicted numbers in the session payload."""
-    result = run_swapped("planner")
+    result = deep_result("planner")
     trace = result.trace
     assert trace.has_swap_events()
     kinds = {e.kind for e in trace.swap_events()}
@@ -348,6 +411,197 @@ def test_deep_mlp_trace_reports_measured_reduction():
     for key in ("measured_savings_bytes", "stall_ns_per_iteration",
                 "predicted"):
         assert key in summary
+
+
+# -- the unified keep/swap/recompute policy -------------------------------------------
+
+
+def recompute_trace():
+    """A tiny hand-built trace with one rematerialized idle interval."""
+    return build_trace([
+        ("malloc", 0, 1, 100),
+        ("write", 10, 1, 100),
+        ("recompute_drop", 20, 1, 100),
+        ("recompute", 80, 1, 100),
+        ("read", 90, 1, 100),
+        ("free", 100, 1, 100),
+    ])
+
+
+def test_recompute_kinds_serialize_and_round_trip():
+    trace = recompute_trace()
+    rebuilt = MemoryTrace.from_dict(trace.to_dict())
+    assert [e.kind for e in rebuilt.recompute_events()] == [
+        MemoryEventKind.RECOMPUTE_DROP, MemoryEventKind.RECOMPUTE]
+    assert rebuilt.has_recompute_events()
+    assert not swap_trace().has_recompute_events()
+
+
+def test_recompute_kinds_csv_round_trip(tmp_path):
+    import csv
+
+    path = recompute_trace().export_events_csv(tmp_path / "events.csv")
+    with open(path, newline="") as handle:
+        kinds = [row["kind"] for row in csv.DictReader(handle)]
+    assert kinds == ["malloc", "write", "recompute_drop", "recompute",
+                     "read", "free"]
+
+
+def test_resident_series_dips_while_dropped():
+    trace = recompute_trace()
+    timestamps, resident = trace.resident_bytes_series()
+    assert list(zip(timestamps.tolist(), resident.tolist())) == [
+        (0, 100), (20, 0), (80, 100), (100, 0)]
+    # allocation semantics are untouched by rematerialization
+    assert trace.peak_live_bytes() == 100
+
+
+def test_ati_and_breakdown_ignore_recompute_traffic():
+    with_drops = recompute_trace()
+    without = build_trace([
+        ("malloc", 0, 1, 100),
+        ("write", 10, 1, 100),
+        ("read", 90, 1, 100),
+        ("free", 100, 1, 100),
+    ])
+    a = compute_interval_arrays(with_drops)
+    b = compute_interval_arrays(without)
+    assert a.interval_ns.tolist() == b.interval_ns.tolist()
+    assert (occupation_breakdown(with_drops).bucket_bytes
+            == occupation_breakdown(without).bucket_bytes)
+
+
+def test_counting_listener_counts_recompute_events():
+    listener = CountingListener()
+    listener.on_recompute_drop(None, 10, "unified")
+    listener.on_recompute(None, 10, "demand")
+    assert listener.recompute_drops == 1
+    assert listener.recomputes == 1
+
+
+def test_unified_policy_accepts_planning_kwargs():
+    policy = get_execution_policy("unified", capacity_bytes=123,
+                                  enable_recompute=False)
+    assert policy.name == "unified"
+    assert policy.capacity_bytes == 123
+    assert policy.enable_swap and not policy.enable_recompute
+
+
+def test_unified_emits_balanced_recompute_events():
+    trace = deep_result("unified").trace
+    drops = [e for e in trace.events
+             if e.kind is MemoryEventKind.RECOMPUTE_DROP]
+    recomputes = [e for e in trace.events
+                  if e.kind is MemoryEventKind.RECOMPUTE]
+    assert drops and len(drops) == len(recomputes)
+    # only forward activations are rematerializable by producer replay
+    assert {e.category for e in drops} == {MemoryCategory.ACTIVATION}
+    assert {e.op for e in recomputes} <= {"demand", "discard", "shutdown"}
+    _, resident = trace.resident_bytes_series()
+    assert int(resident.min()) >= 0
+
+
+def test_unified_summary_accounts_recompute_time():
+    summary = deep_result("unified").swap_execution
+    assert summary["policy"] == "unified"
+    assert summary["recompute_drop_count"] == summary["recompute_count"] > 0
+    assert summary["bytes_recompute_dropped"] > 0
+    assert summary["recompute_ns_total"] > 0
+    assert summary["recompute_ns_per_iteration"] > 0
+    # rematerialization rides the compute clock, not the copy stream
+    assert summary["bytes_recomputed"] == 0 or summary["bytes_recomputed"] > 0
+
+
+def test_unified_decisions_record_cheaper_mechanism():
+    predicted = deep_result("unified").swap_execution["predicted"]
+    decisions = predicted["decisions"]
+    assert decisions
+    by_mechanism = {"swap": 0, "recompute": 0, "keep": 0}
+    for decision in decisions:
+        by_mechanism[decision["mechanism"]] += 1
+        if decision["mechanism"] == "recompute":
+            assert (decision["recompute_cost_ns"]
+                    <= decision["effective_swap_cost_ns"])
+        elif decision["mechanism"] == "swap":
+            assert math.isfinite(decision["effective_swap_cost_ns"])
+    assert by_mechanism["swap"] == predicted["num_swapped"] > 0
+    assert by_mechanism["recompute"] == predicted["num_recomputed"] > 0
+    assert by_mechanism["keep"] == predicted["num_kept"]
+    assert (predicted["num_swapped"] + predicted["num_recomputed"]
+            == predicted["num_selected"])
+
+
+def test_unified_measured_savings_dominate_pure_swap():
+    unified = deep_result("unified").swap_execution
+    planner = deep_result("planner").swap_execution
+    assert (unified["measured_savings_bytes"]
+            >= planner["measured_savings_bytes"] > 0)
+
+
+def test_unified_measured_savings_dominate_pure_recompute():
+    unified = deep_result("unified").swap_execution
+    _, recompute_only = pure_recompute_result()
+    assert recompute_only.recompute_drop_count > 0
+    assert (unified["measured_savings_bytes"]
+            >= recompute_only.measured_savings_bytes > 0)
+
+
+def test_unified_predicted_vs_measured_within_tolerance():
+    """The acceptance bar: unified prediction within 5% of the live peak."""
+    summary = deep_result("unified").swap_execution
+    predicted = summary["predicted"]
+    assert predicted["savings_bytes"] > 0
+    gap = abs(summary["measured_savings_bytes"] - predicted["savings_bytes"])
+    assert gap <= SAVINGS_TOLERANCE_FRACTION * summary["peak_live_bytes"]
+
+
+def test_unified_stalls_no_worse_than_pure_swap():
+    """Replacing transfers with replay relieves the copy stream: on the same
+    profile the unified plan never stalls longer than the pure planner."""
+    unified = deep_result("unified").swap_execution
+    planner = deep_result("planner").swap_execution
+    assert unified["stall_ns_total"] <= planner["stall_ns_total"]
+
+
+def test_unified_learned_compute_costs_match_offline_twin():
+    """The executor's warm-up learning rule and the offline estimator
+    (per_block_compute_times on an undistorted trace) agree exactly."""
+    from repro.baselines.recompute import per_block_compute_times
+
+    clean = deep_result("off").trace
+    offline = per_block_compute_times(clean)
+    by_tag = {}
+    for lifetime in clean.lifetimes:
+        if lifetime.block_id in offline:
+            by_tag[lifetime.tag] = offline[lifetime.block_id]
+    decisions = deep_result("unified").swap_execution["predicted"]["decisions"]
+    learned = [d for d in decisions if d["recompute_cost_ns"] is not None]
+    assert learned
+    for decision in learned:
+        assert decision["tag"] in by_tag
+        assert decision["recompute_cost_ns"] == by_tag[decision["tag"]]
+
+
+def test_unified_predicted_recompute_overhead_bounds_measured():
+    """The predicted overhead (every selected producer replayed once per
+    iteration) is an upper bound: a dropped block freed before its next use
+    is discarded without ever paying its replay cost."""
+    summary = deep_result("unified").swap_execution
+    predicted_per_iter = summary["predicted"]["recompute_overhead_ns"]
+    assert predicted_per_iter > 0
+    assert 0 < summary["recompute_ns_per_iteration"] <= predicted_per_iter
+
+
+def test_unified_sweep_row_reports_recompute_columns():
+    grid = SweepGrid(models=("mlp",), batch_sizes=(512,), iterations=(5,),
+                     swaps=("unified",))
+    result = run_scenario(grid.expand()[0])
+    assert result.scenario["swap"] == "unified"
+    assert result.scenario["device_memory_capacity"] is None
+    row = result.row()
+    assert row["recompute_ms"] >= 0
+    assert row["pressure_stall_ms"] == 0
+    assert row["peak_resident_mib"] >= 0
 
 
 # -- eager/symbolic equivalence and multi-rank ----------------------------------------

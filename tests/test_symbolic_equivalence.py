@@ -135,6 +135,57 @@ def test_virtual_alias_matches_symbolic():
     assert event_stream(virtual.trace) == event_stream(symbolic.trace)
 
 
+def test_unified_swap_session_is_event_identical_to_eager():
+    """A ``--swap unified`` session is mode-invariant end to end."""
+    base = dict(model="mlp", model_kwargs={"hidden_dim": 64},
+                dataset="two_cluster", batch_size=16, iterations=3, seed=7,
+                swap="unified")
+    eager = run_training_session(
+        TrainingRunConfig(execution_mode="eager", **base))
+    symbolic = run_training_session(
+        TrainingRunConfig(execution_mode="symbolic", **base))
+    assert event_stream(symbolic.trace) == event_stream(eager.trace)
+    assert lifetime_stream(symbolic.trace) == lifetime_stream(eager.trace)
+    assert symbolic.swap_execution == eager.swap_execution
+
+
+def test_unified_rematerialization_is_event_identical_to_eager():
+    """Where the unified plan actually swaps *and* recomputes, both modes
+    emit the same decision stream (block ids come from a process-global
+    counter, so the comparison normalizes them)."""
+    from repro.swap.policies import UnifiedExecutionPolicy
+    from tests.test_swap_execution import run_manual_policy
+
+    settings = dict(model="mlp", dataset="two_cluster", batch_size=512,
+                    iterations=5,
+                    model_kwargs={"hidden_dim": 1024, "num_hidden_layers": 3},
+                    seed=7)
+
+    def run(mode):
+        return run_manual_policy(
+            UnifiedExecutionPolicy(min_candidate_bytes=256 * 1024),
+            execution_mode=mode, **settings)
+
+    def normalized_summary(summary):
+        data = summary.to_dict()
+        predicted = dict(data["predicted"])
+        predicted["decisions"] = [
+            {key: value for key, value in decision.items() if key != "block_id"}
+            for decision in predicted["decisions"]]
+        data["predicted"] = predicted
+        return data
+
+    symbolic_trace, symbolic_summary = run("symbolic")
+    eager_trace, eager_summary = run("eager")
+    assert symbolic_summary.swap_out_count > 0
+    assert any(d["mechanism"] == "recompute"
+               for d in symbolic_summary.predicted["decisions"])
+    assert event_stream(symbolic_trace) == event_stream(eager_trace)
+    assert lifetime_stream(symbolic_trace) == lifetime_stream(eager_trace)
+    assert (normalized_summary(symbolic_summary)
+            == normalized_summary(eager_summary))
+
+
 def test_symbolic_mode_has_no_values_but_eager_does():
     eager, symbolic = run_pair("mlp", {"hidden_dim": 32}, 8, 1, "float32",
                                iterations=1)
