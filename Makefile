@@ -10,13 +10,14 @@ test:
 # execution mode (eager, symbolic, template replay) plus the swap-execution
 # row and write BENCH_sweep.json (see docs/performance.md).
 bench:
-	$(PYTHON) tools/bench.py --grid full --modes eager,symbolic,replay,symbolic+swap
+	$(PYTHON) tools/bench.py --grid full --modes eager,symbolic,replay,replay-batch,symbolic+swap
 
 # Fast eager-free benchmark with a wall-clock budget (the CI smoke job);
-# includes the template-replay and swap-execution throughput rows.
+# includes the batched template-replay and swap-execution throughput rows
+# and gates on the replay speedup staying >= 6x over symbolic.
 bench-smoke:
-	$(PYTHON) tools/bench.py --grid quick --modes symbolic,replay,symbolic+swap \
-		--budget-s 300 --out BENCH_smoke.json
+	$(PYTHON) tools/bench.py --grid quick --modes symbolic,replay-batch,symbolic+swap \
+		--budget-s 300 --assert-replay-speedup 6.0 --out BENCH_smoke.json
 
 # The qualitative paper-claim benchmark suite (pytest-based, seconds-scale).
 bench-suite:

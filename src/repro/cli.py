@@ -416,6 +416,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     replay_note = (f", {result.replayed} replayed from "
                    f"{result.templates_compiled} template(s)"
                    if result.replayed else "")
+    if result.replay_fallbacks:
+        reasons = ", ".join(f"{reason}={count}" for reason, count
+                            in sorted(result.replay_fallbacks.items()))
+        replay_note += f", {sum(result.replay_fallbacks.values())} simulated ({reasons})"
     print(f"\n{len(result)} scenario(s) in {result.wall_time_s:.2f}s "
           f"({result.cache_hits} cached, {result.cache_misses} executed"
           f"{replay_note}, workers={args.workers}, cache={cache_dir})")

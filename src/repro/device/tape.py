@@ -24,6 +24,9 @@ count marks the captured template as unusable rather than silently wrong.
 from __future__ import annotations
 
 from array import array
+from typing import Dict
+
+import numpy as np
 
 from .clock import DeviceClock
 from .timing import KernelCost
@@ -42,6 +45,19 @@ TAPE_BARRIER = 7
 
 #: Kinds resolved with cross-rank barrier semantics at replay time.
 SYNC_KINDS = (TAPE_ALLREDUCE, TAPE_BARRIER)
+
+
+def atom_index_table(kinds: np.ndarray) -> Dict[int, np.ndarray]:
+    """Positions of every atom kind present in a tape's kind column.
+
+    Returns ``{kind_code: int64 positions}``, ascending within each kind.
+    The batched repricing path (:meth:`TraceTemplate.replay_batch`) gathers
+    through these index arrays once per template instead of re-masking the
+    kind column for every scenario it prices.
+    """
+    kinds = np.asarray(kinds, dtype=np.int64)
+    return {int(kind): np.flatnonzero(kinds == kind)
+            for kind in np.unique(kinds)}
 
 
 class TimingTape:

@@ -38,11 +38,32 @@ are *structural* for a single rank (their event order never depends on
 timestamps), so they are precomputed at compile time and a replay only
 recomputes the interval gaps, the distribution summary and Eq.-1 screening
 — microseconds instead of milliseconds per scenario.
+
+Three layers push whole grids through one template:
+
+* **Batched repricing** — :meth:`TraceTemplate.replay_batch` stacks the
+  pricing-axis parameters of S scenarios (roofline inputs, bandwidths,
+  dispatch overheads) into per-scenario rows and re-derives every duration,
+  timestamp, ATI gap and distribution summary for all of them in one
+  ``(S × atoms)`` int64 broadcast over the tape — the per-scenario loop
+  through ``_reprice_atoms``/``_resolve_times`` survives only as the
+  fallback for multi-rank or policy-carrying scenarios.
+* **Dtype-generalized templates** — ``dtype`` is a *generalized* axis, not
+  a structural one: one :class:`TemplateFamily` (one structural key) holds
+  lazily-captured per-dtype :class:`TraceTemplate` variants, because AMP
+  master-weight allocations give fp16 a genuinely different event stream
+  (a recorded structural delta, captured once, stored against the base
+  variant's arrays) rather than a reason to fall back.
+* **Template-store index** — :class:`~repro.experiments.template_store.TemplateStore`
+  fronts the ``.npz`` files with a JSON manifest (O(1) lookup, LRU bound,
+  atomic publish) so parallel sweep workers and persistent pools share
+  templates safely.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import time
 from dataclasses import dataclass, replace
 from pathlib import Path
@@ -50,7 +71,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core.ati import IntervalArrays, compute_interval_arrays, summarize_values_us
+from ..core.ati import (AtiSummary, IntervalArrays, compute_interval_arrays,
+                        summarize_values_us)
 from ..core.breakdown import occupation_breakdown
 from ..core.events import BlockLifetime, IterationMark, MemoryEventKind
 from ..core.swap import BandwidthConfig, swappable_fraction
@@ -58,6 +80,7 @@ from ..core.trace import CATEGORY_FROM_CODE, KIND_CODES, EventColumns, MemoryTra
 from ..device.spec import get_device_spec
 from ..device.tape import (
     SYNC_KINDS,
+    atom_index_table,
     TAPE_ALLOC_OVERHEAD,
     TAPE_ALLREDUCE,
     TAPE_CONST,
@@ -76,7 +99,10 @@ from ..train.session import (
 from ..train.trainer import IterationStats
 
 #: Version of the persisted template format; bump to invalidate stored templates.
-TEMPLATE_SCHEMA_VERSION = 1
+#: v2: dtype-generalized families — ``dtype`` left the structural fingerprint
+#: and one ``.npz`` holds every captured per-dtype variant (shared arrays
+#: stored once, dtype-specific deltas stored against the base variant).
+TEMPLATE_SCHEMA_VERSION = 2
 
 _SEGMENT_FREE_CODE = KIND_CODES[MemoryEventKind.SEGMENT_FREE]
 _MALLOC_CODE = KIND_CODES[MemoryEventKind.MALLOC]
@@ -88,9 +114,26 @@ _FREE_CODE = KIND_CODES[MemoryEventKind.FREE]
 PRICING_FIELDS = ("label", "device_spec", "host_dispatch_overhead_ns",
                   "interconnect", "allreduce_algorithm", "device_memory_capacity")
 
+#: Config fields that *do* change the event structure but are generalized
+#: within one :class:`TemplateFamily` instead of splitting the template key:
+#: each value gets its own captured variant under the shared key (for
+#: ``dtype``, the AMP master-weight allocations are a structural delta worth
+#: one extra capture — not a reason to compile a whole new family).
+GENERALIZED_FIELDS = ("dtype",)
+
 
 class TemplateError(Exception):
-    """A capture cannot be turned into (or served as) a replayable template."""
+    """A capture cannot be turned into (or served as) a replayable template.
+
+    ``reason`` is a stable machine-readable code (``swap_execution``,
+    ``host_latency``, ``eager_mode``, ``capture_inconsistent``,
+    ``capacity_mismatch``, ``compile_failed``) surfaced by the sweep CLI so
+    fallbacks to fresh simulation are explained, not silent.
+    """
+
+    def __init__(self, message: str, reason: str = "not_replayable"):
+        super().__init__(message)
+        self.reason = reason
 
 
 # -- template identity ----------------------------------------------------------------
@@ -100,15 +143,16 @@ def template_fingerprint(config: TrainingRunConfig) -> Dict[str, object]:
     """Canonical JSON-friendly *structural* identity of a training config.
 
     Everything that shapes the event stream stays; the pricing axes
-    (:data:`PRICING_FIELDS`) are dropped, and the legacy ``"virtual"``
+    (:data:`PRICING_FIELDS`) are dropped, the generalized axes
+    (:data:`GENERALIZED_FIELDS` — served by per-value variants within one
+    :class:`TemplateFamily`) are dropped, and the legacy ``"virtual"``
     execution mode is normalized to its synonym ``"symbolic"``.
     """
-    from dataclasses import asdict
-
     if config.swap != "off":
-        raise TemplateError("swap-execution runs are not replayable")
-    structural = asdict(config)
-    for name in PRICING_FIELDS:
+        raise TemplateError("swap-execution runs are not replayable",
+                            reason="swap_execution")
+    structural = config.to_dict()
+    for name in PRICING_FIELDS + GENERALIZED_FIELDS:
         structural.pop(name, None)
     structural.pop("host_latency", None)
     if structural.get("execution_mode") == "virtual":
@@ -187,36 +231,48 @@ _LT_BLOCK, _LT_ADDRESS, _LT_SIZE, _LT_CATEGORY, _LT_ITERATION, \
 def _capture_rank(recorder, trace: MemoryTrace, tape: TimingTape) -> RankTemplate:
     """Freeze one replica's recorder + tape into a :class:`RankTemplate`."""
     if not tape.consistent:
-        raise TemplateError("timing tape saw unannotated or mismatched advances")
+        raise TemplateError("timing tape saw unannotated or mismatched advances",
+                            reason="capture_inconsistent")
     cols = trace.columns()
     tags, ops = trace.event_strings()
     positions = np.asarray(recorder.event_tape_positions, dtype=np.int64)
     if positions.size != len(cols):
-        raise TemplateError("event/tape correspondence is incomplete")
+        raise TemplateError("event/tape correspondence is incomplete",
+                            reason="capture_inconsistent")
     spans = recorder.mark_tape_spans
     if len(spans) != len(trace.iteration_marks) or any(e < 0 for _, e in spans):
-        raise TemplateError("iteration mark spans are incomplete")
+        raise TemplateError("iteration mark spans are incomplete",
+                            reason="capture_inconsistent")
 
     # Lifetimes: malloc events pair 1:1 with lifetimes in recording order;
-    # frees are matched through an open-block walk (handles id reuse).
+    # frees are matched to the most recent open malloc of the same block id
+    # (id reuse) with one stable sort instead of a Python open-block walk: a
+    # stable sort by block id keeps each block's malloc/free events in stream
+    # order, so a free pairs with its malloc exactly when the malloc is its
+    # immediate same-block predecessor.
     malloc_positions = np.flatnonzero(cols.kind_code == _MALLOC_CODE)
     if malloc_positions.size != len(trace.lifetimes):
-        raise TemplateError("lifetime/malloc correspondence is incomplete")
+        raise TemplateError("lifetime/malloc correspondence is incomplete",
+                            reason="capture_inconsistent")
     m = len(trace.lifetimes)
     lifetimes = np.full((8, m), -1, dtype=np.int64)
-    open_blocks: Dict[int, int] = {}
-    next_lifetime = 0
-    kind_list = cols.kind_code.tolist()
-    block_list = cols.block_id.tolist()
-    for pos, kind in enumerate(kind_list):
-        if kind == _MALLOC_CODE:
-            open_blocks[block_list[pos]] = next_lifetime
-            lifetimes[_LT_MALLOC_IDX, next_lifetime] = pos
-            next_lifetime += 1
-        elif kind == _FREE_CODE:
-            index = open_blocks.pop(block_list[pos], None)
-            if index is not None:
-                lifetimes[_LT_FREE_IDX, index] = pos
+    lifetimes[_LT_MALLOC_IDX, :] = malloc_positions
+    access_pos = np.flatnonzero((cols.kind_code == _MALLOC_CODE)
+                                | (cols.kind_code == _FREE_CODE))
+    if access_pos.size:
+        order = np.argsort(cols.block_id[access_pos], kind="stable")
+        sorted_pos = access_pos[order]
+        sorted_block = cols.block_id[access_pos][order]
+        sorted_is_malloc = cols.kind_code[sorted_pos] == _MALLOC_CODE
+        follows_open_malloc = np.zeros(sorted_pos.size, dtype=bool)
+        follows_open_malloc[1:] = (sorted_is_malloc[:-1]
+                                   & (sorted_block[1:] == sorted_block[:-1]))
+        paired_free = ~sorted_is_malloc & follows_open_malloc
+        if paired_free.any():
+            free_rows = np.flatnonzero(paired_free)
+            matched = np.searchsorted(malloc_positions,
+                                      sorted_pos[free_rows - 1])
+            lifetimes[_LT_FREE_IDX, matched] = sorted_pos[free_rows]
     lifetime_tags = []
     from ..core.trace import CATEGORY_CODES
     for i, lifetime in enumerate(trace.lifetimes):
@@ -268,6 +324,45 @@ class _FastPath:
     num_blocks: int
 
 
+@dataclass
+class _BatchArrays:
+    """Per-template gather tables for the batched ``(S × atoms)`` repricing.
+
+    Everything here is a pure function of the captured structure: per-kind
+    atom positions (so a batch prices each kind with one fancy-indexed
+    assignment instead of a boolean mask per scenario), the pre-scaled
+    roofline numerators, and the *tape* positions behind the ATI pairs,
+    iteration spans and occupancy peak (so timestamps are gathered straight
+    from the ``(S, atoms+1)`` prefix-sum matrix, never materializing the
+    per-scenario event timestamp vector).
+    """
+
+    const_idx: np.ndarray
+    const_dur: np.ndarray
+    kernel_idx: np.ndarray
+    kernel_flops9: np.ndarray      # 1e9 * flops (roofline numerator), float64
+    kernel_flops_nz: np.ndarray    # bool: flops != 0
+    kernel_moved9: np.ndarray
+    kernel_moved_nz: np.ndarray
+    h2d_idx: np.ndarray
+    h2d_bytes9: np.ndarray
+    h2d_nz: np.ndarray
+    d2h_idx: np.ndarray
+    d2h_bytes9: np.ndarray
+    d2h_nz: np.ndarray
+    alloc_idx: np.ndarray
+    segment_idx: np.ndarray
+    ati_start_tape: np.ndarray     # tape positions of each ATI pair's endpoints
+    ati_end_tape: np.ndarray
+    ati_size: np.ndarray           # block bytes behind each ATI pair (Eq. 1)
+    span_begin: np.ndarray         # iteration spans as tape positions
+    span_end: np.ndarray
+    peak_tape_pos: int             # tape position of the occupancy peak (-1: none)
+    breakdown_base: Dict[str, object]
+    stats_base: Dict[str, int]
+    mean_utilization: float
+
+
 class TraceTemplate:
     """One compiled structure: everything needed to re-price it in bulk.
 
@@ -284,9 +379,16 @@ class TraceTemplate:
         self.meta = dict(meta)
         self.ranks = list(ranks)
         if not self.ranks:
-            raise TemplateError("a template needs at least one rank")
+            raise TemplateError("a template needs at least one rank",
+                                reason="capture_inconsistent")
         self._validate_syncs()
         self.fast = self._precompute_fast() if len(self.ranks) == 1 else None
+        self._batch: Optional[_BatchArrays] = None  # built on first replay_batch
+
+    @property
+    def dtype(self) -> str:
+        """Training precision this variant was captured under."""
+        return str(self.meta.get("dtype", "float32"))
 
     # -- validation -------------------------------------------------------------------
 
@@ -301,7 +403,8 @@ class TraceTemplate:
             if (other_kinds.size != first_kinds.size
                     or not np.array_equal(other_kinds, first_kinds)
                     or not np.array_equal(other_payloads, first_payloads)):
-                raise TemplateError("ranks disagree on the collective sequence")
+                raise TemplateError("ranks disagree on the collective sequence",
+                                    reason="capture_inconsistent")
         self.sync_kinds = first_kinds
         self.sync_nbytes = first_payloads
 
@@ -576,6 +679,239 @@ class TraceTemplate:
             swap_execution=None,
         )
 
+    # -- batched repricing ------------------------------------------------------------
+
+    def _batch_arrays(self) -> _BatchArrays:
+        """Build (once) the gather tables behind :meth:`replay_batch`."""
+        if self._batch is None:
+            rank = self.ranks[0]
+            fast = self.fast
+            table = atom_index_table(rank.tape_kind)
+            empty = np.empty(0, dtype=np.int64)
+            const_idx = table.get(TAPE_CONST, empty)
+            kernel_idx = table.get(TAPE_KERNEL, empty)
+            h2d_idx = table.get(TAPE_MEMCPY_H2D, empty)
+            d2h_idx = table.get(TAPE_MEMCPY_D2H, empty)
+            kernel_flops = rank.tape_flops[kernel_idx]
+            kernel_moved = rank.tape_bytes_moved[kernel_idx]
+            h2d_bytes = rank.tape_nbytes[h2d_idx]
+            d2h_bytes = rank.tape_nbytes[d2h_idx]
+            event_pos = rank.event_tape_pos
+            stats_base = {k: int(v)
+                          for k, v in self.meta["allocator_stats"].items()}
+            peak_reserved = int(stats_base.get(
+                "peak_reserved_bytes", self.meta["peak_reserved_bytes"]))
+            peak_allocated = int(stats_base.get(
+                "peak_allocated_bytes", self.meta["peak_allocated_bytes"]))
+            self._batch = _BatchArrays(
+                const_idx=const_idx,
+                const_dur=rank.tape_duration_ns[const_idx],
+                kernel_idx=kernel_idx,
+                kernel_flops9=1e9 * kernel_flops,
+                kernel_flops_nz=kernel_flops != 0.0,
+                kernel_moved9=1e9 * kernel_moved,
+                kernel_moved_nz=kernel_moved != 0.0,
+                h2d_idx=h2d_idx,
+                h2d_bytes9=1e9 * h2d_bytes,
+                h2d_nz=h2d_bytes != 0,
+                d2h_idx=d2h_idx,
+                d2h_bytes9=1e9 * d2h_bytes,
+                d2h_nz=d2h_bytes != 0,
+                alloc_idx=table.get(TAPE_ALLOC_OVERHEAD, empty),
+                segment_idx=table.get(TAPE_SEGMENT_OVERHEAD, empty),
+                ati_start_tape=event_pos[fast.ati_start_pos],
+                ati_end_tape=event_pos[fast.ati_end_pos],
+                ati_size=fast.ati.size,
+                span_begin=rank.mark_spans[:, 0],
+                span_end=rank.mark_spans[:, 1],
+                peak_tape_pos=(int(event_pos[fast.peak_event_pos])
+                               if fast.peak_event_pos >= 0 else -1),
+                breakdown_base=fast.breakdown.to_dict(),
+                stats_base=stats_base,
+                mean_utilization=float(peak_allocated / peak_reserved),
+            )
+        return self._batch
+
+    def replay_batch(self, scenarios: Sequence[object],
+                     bandwidths_list: Sequence[BandwidthConfig],
+                     started: Optional[float] = None) -> List[object]:
+        """Price a whole grid of scenarios of this structure in one pass.
+
+        Every scenario that qualifies for the single-rank fast path is priced
+        through one ``(S × atoms)`` int64 broadcast (durations, prefix-sum
+        timestamps, ATI gaps, distribution summaries, Eq.-1 screening all
+        batched along axis 0); the rest fall back to the scalar
+        :meth:`replay` element by element.  The returned list is parallel to
+        ``scenarios`` and element-for-element bit-identical to what scalar
+        :meth:`replay` — and therefore a fresh symbolic simulation — would
+        produce (``wall_time_s`` aside).
+        """
+        if started is None:
+            started = time.perf_counter()
+        results: List[object] = [None] * len(scenarios)
+        stats = self.meta["allocator_stats"]
+        peak_reserved = int(stats.get("peak_reserved_bytes",
+                                      self.meta["peak_reserved_bytes"]))
+        batchable = (self.fast is not None and peak_reserved > 0
+                     and self.sync_kinds.size == 0)
+        rows = []
+        for index, scenario in enumerate(scenarios):
+            if batchable and scenario.swap_policy == "none":
+                rows.append(index)
+            else:
+                results[index] = self.replay(scenario, bandwidths_list[index],
+                                             time.perf_counter())
+        if rows:
+            self._replay_batch_fast(scenarios, bandwidths_list, rows, results,
+                                    started)
+        return results
+
+    def _replay_batch_fast(self, scenarios, bandwidths_list, rows, results,
+                           started: float) -> None:
+        """Vectorized core of :meth:`replay_batch`: one (S × atoms) broadcast."""
+        from .sweep import ScenarioResult
+
+        rank = self.ranks[0]
+        fast = self.fast
+        batch = self._batch_arrays()
+        n_scenarios = len(rows)
+        n_atoms = rank.tape_kind.size
+
+        # Stack the pricing-axis parameters, one row per scenario.  Device
+        # specs repeat across a grid, so the cluster construction (the only
+        # Python-object work per pricing point) is memoized per spec.
+        eff_flops = np.empty(n_scenarios)
+        eff_bw = np.empty(n_scenarios)
+        h2d_bw = np.empty(n_scenarios)
+        d2h_bw = np.empty(n_scenarios)
+        launch = np.empty(n_scenarios, dtype=np.int64)
+        dispatch = np.empty(n_scenarios, dtype=np.int64)
+        memcpy_launch = np.empty(n_scenarios, dtype=np.int64)
+        alloc_overhead = np.empty(n_scenarios, dtype=np.int64)
+        segment_overhead = np.empty(n_scenarios, dtype=np.int64)
+        offsets = np.empty(n_scenarios, dtype=np.int64)
+        round_trip = np.empty(n_scenarios)
+        preamble = int(rank.preamble_segments)
+        specs: Dict[Tuple[str, Optional[int]], object] = {}
+        for j, i in enumerate(rows):
+            config = scenarios[i].config
+            spec_key = (config.device_spec, config.device_memory_capacity)
+            spec = specs.get(spec_key)
+            if spec is None:
+                spec = specs[spec_key] = build_cluster(config).device
+            eff_flops[j] = spec.peak_flops * 0.65
+            eff_bw[j] = spec.memory_bandwidth * 0.75
+            h2d_bw[j] = spec.h2d_bandwidth
+            d2h_bw[j] = spec.d2h_bandwidth
+            launch[j] = spec.kernel_launch_overhead_ns
+            dispatch[j] = self._host_dispatch_ns(config)
+            memcpy_launch[j] = spec.memcpy_launch_overhead_ns
+            alloc_overhead[j] = spec.allocator_overhead_ns
+            segment_overhead[j] = spec.cuda_malloc_overhead_ns
+            offsets[j] = preamble * spec.cuda_malloc_overhead_ns
+            round_trip[j] = bandwidths_list[i].round_trip_s_per_byte
+
+        # Duration of every atom under every scenario: same float expressions
+        # as _reprice_atoms, broadcast along axis 0 — bit-identical rows.
+        durations = np.zeros((n_scenarios, n_atoms), dtype=np.int64)
+        if batch.const_idx.size:
+            durations[:, batch.const_idx] = batch.const_dur[None, :]
+        if batch.kernel_idx.size:
+            compute_ns = np.where(batch.kernel_flops_nz[None, :],
+                                  batch.kernel_flops9[None, :] / eff_flops[:, None],
+                                  0.0)
+            memory_ns = np.where(batch.kernel_moved_nz[None, :],
+                                 batch.kernel_moved9[None, :] / eff_bw[:, None],
+                                 0.0)
+            busy = np.maximum(compute_ns, memory_ns)
+            durations[:, batch.kernel_idx] = (
+                np.rint(launch[:, None] + busy).astype(np.int64)
+                + dispatch[:, None])
+        for idx, nonzero, bytes9, bandwidth in (
+                (batch.h2d_idx, batch.h2d_nz, batch.h2d_bytes9, h2d_bw),
+                (batch.d2h_idx, batch.d2h_nz, batch.d2h_bytes9, d2h_bw)):
+            if idx.size:
+                transfer = np.where(nonzero[None, :],
+                                    bytes9[None, :] / bandwidth[:, None], 0.0)
+                durations[:, idx] = np.rint(
+                    memcpy_launch[:, None] + transfer).astype(np.int64)
+        if batch.alloc_idx.size:
+            durations[:, batch.alloc_idx] = alloc_overhead[:, None]
+        if batch.segment_idx.size:
+            durations[:, batch.segment_idx] = segment_overhead[:, None]
+
+        # Absolute clock time after every atom (entry 0: post-preamble start).
+        times = np.empty((n_scenarios, n_atoms + 1), dtype=np.int64)
+        times[:, 0] = offsets
+        np.cumsum(durations, axis=1, out=times[:, 1:])
+        times[:, 1:] += offsets[:, None]
+
+        # Batched reductions: ATI gaps/summary/Eq.-1, peaks, iteration spans.
+        gaps = times[:, batch.ati_end_tape] - times[:, batch.ati_start_tape]
+        n_intervals = gaps.shape[1]
+        if n_intervals:
+            values = gaps / 1_000.0
+            percentiles = np.percentile(values, (50, 90, 99), axis=1)
+            # Row-at-a-time mean: the axis reduction pairs the sum with a
+            # different blocking than 1-D ``values.mean()`` and can differ in
+            # the last ulp, which would break bit-identity with the scalar
+            # path's ``summarize_values_us``.
+            means = [float(values[j].mean()) for j in range(n_scenarios)]
+            mins = np.min(values, axis=1)
+            maxs = np.max(values, axis=1)
+            limits = np.maximum(gaps, 0) / 1e9 / round_trip[:, None]
+            fractions = np.mean(batch.ati_size[None, :] <= limits, axis=1)
+        if batch.peak_tape_pos >= 0:
+            peak_times = times[:, batch.peak_tape_pos]
+        step_ns = (times[:, batch.span_end] - times[:, batch.span_begin]).tolist()
+
+        for j, i in enumerate(rows):
+            scenario = scenarios[i]
+            config = scenario.config
+            if n_intervals:
+                summary = AtiSummary(
+                    count=n_intervals, mean_us=float(means[j]),
+                    p50_us=float(percentiles[0, j]),
+                    p90_us=float(percentiles[1, j]),
+                    p99_us=float(percentiles[2, j]),
+                    min_us=float(mins[j]), max_us=float(maxs[j]))
+                swappable = float(fractions[j])
+            else:
+                summary = AtiSummary(count=0, mean_us=0.0, p50_us=0.0,
+                                     p90_us=0.0, p99_us=0.0, min_us=0.0,
+                                     max_us=0.0)
+                swappable = 0.0
+            label = config.label or config.describe()
+            breakdown = dict(batch.breakdown_base)
+            breakdown["label"] = label
+            breakdown["peak_time_ns"] = (int(peak_times[j])
+                                         if batch.peak_tape_pos >= 0 else 0)
+            durations_s = [ns / 1e9 for ns in step_ns[j]]
+            total_s = float(sum(durations_s))
+            results[i] = ScenarioResult(
+                scenario=self._scenario_dict(config, scenario.swap_policy),
+                key=scenario.key(bandwidths_list[i]),
+                peak_allocated_bytes=int(self.meta["peak_allocated_bytes"]),
+                peak_reserved_bytes=int(self.meta["peak_reserved_bytes"]),
+                peak_live_bytes=int(fast.peak_live_bytes),
+                parameter_bytes=int(self.meta["parameter_bytes"]),
+                parameter_count=int(self.meta["parameter_count"]),
+                num_events=int(fast.num_events),
+                num_blocks=int(fast.num_blocks),
+                step_time_s_mean=(total_s / len(durations_s)
+                                  if durations_s else 0.0),
+                step_time_s_total=total_s,
+                ati=summary.to_dict(),
+                swappable_fraction=swappable,
+                swap=None,  # the "none" policy evaluates to None by definition
+                breakdown=breakdown,
+                allocator_stats=dict(batch.stats_base),
+                mean_utilization=batch.mean_utilization,
+                wall_time_s=time.perf_counter() - started,
+                collective=None,
+                swap_execution=None,
+            )
+
     # -- full trace rebuild (multi-rank or policy evaluation) -------------------------
 
     def _rebuild_session(self, config: TrainingRunConfig, cluster,
@@ -714,18 +1050,29 @@ class TraceTemplate:
 # -- compilation ----------------------------------------------------------------------
 
 
-def compile_template(config: TrainingRunConfig) -> Optional[TraceTemplate]:
+def check_replay_envelope(config: TrainingRunConfig) -> None:
+    """Raise a reason-coded :class:`TemplateError` for un-replayable configs."""
+    if config.swap != "off":
+        raise TemplateError("swap-execution runs are not replayable",
+                            reason="swap_execution")
+    if config.host_latency is not None:
+        raise TemplateError("host-latency models are not replayable",
+                            reason="host_latency")
+    if config.execution_mode not in ("symbolic", "virtual"):
+        raise TemplateError("only symbolic runs can be captured",
+                            reason="eager_mode")
+
+
+def _compile_template_checked(config: TrainingRunConfig) -> TraceTemplate:
     """Run the simulation once and capture its structure as a template.
 
-    Returns ``None`` when the configuration is outside the replay envelope
-    (swap execution on, a host-latency model attached, eager numerics) or
-    when the capture turns out not to be replayable (a timing atom the tape
-    could not attribute, ranks disagreeing on the collective sequence) —
-    callers fall back to fresh simulation.
+    Raises a reason-coded :class:`TemplateError` when the configuration is
+    outside the replay envelope (swap execution on, a host-latency model
+    attached, eager numerics) or when the capture turns out not to be
+    replayable (a timing atom the tape could not attribute, ranks
+    disagreeing on the collective sequence).
     """
-    if (config.swap != "off" or config.host_latency is not None
-            or config.execution_mode not in ("symbolic", "virtual")):
-        return None
+    check_replay_envelope(config)
     key = template_key(config)
     compile_config = replace(config, execution_mode="symbolic")
     capture = _TemplateCapture()
@@ -735,46 +1082,111 @@ def compile_template(config: TrainingRunConfig) -> Optional[TraceTemplate]:
         capture.detach()
 
     spec = build_cluster(compile_config).device
+    ranks = []
+    for profiler, trace, tape in zip(capture.profilers, capture.rank_traces,
+                                     capture.tapes):
+        rank = _capture_rank(profiler.recorder, trace, tape)
+        preamble = tape.preamble_segments(spec.cuda_malloc_overhead_ns)
+        if preamble < 0:
+            raise TemplateError("pre-attach clock time is not whole segments",
+                                reason="capture_inconsistent")
+        rank.preamble_segments = preamble
+        ranks.append(rank)
+    allocator_stats = {k: int(v) for k, v in session.allocator_stats.items()}
+    has_segment_free = (
+        allocator_stats.get("segment_frees", 0) > 0
+        or any(bool((rank.event_kind == _SEGMENT_FREE_CODE).any())
+               for rank in ranks))
+    meta = {
+        "schema": TEMPLATE_SCHEMA_VERSION,
+        "allocator": config.allocator,
+        "allocator_name": session.trace.metadata.get("allocator",
+                                                     config.allocator),
+        "dtype": config.dtype,
+        "n_ranks": len(ranks),
+        "compile_capacity": int(spec.memory_capacity),
+        "has_segment_free": bool(has_segment_free),
+        "peak_reserved_validity": int(session.peak_reserved_bytes),
+        "peak_allocated_bytes": int(session.peak_allocated_bytes),
+        "peak_reserved_bytes": int(session.peak_reserved_bytes),
+        "parameter_bytes": int(session.parameter_bytes),
+        "parameter_count": int(session.parameter_count),
+        "allocator_stats": allocator_stats,
+        "iteration_stats": [
+            {"index": stats.index, "loss": stats.loss,
+             "allocated_bytes_end": int(stats.allocated_bytes_end),
+             "peak_allocated_bytes": int(stats.peak_allocated_bytes),
+             "reserved_bytes_end": int(stats.reserved_bytes_end)}
+            for stats in session.iteration_stats
+        ],
+    }
+    return TraceTemplate(key, meta, ranks)
+
+
+def compile_template(config: TrainingRunConfig) -> Optional[TraceTemplate]:
+    """Capture ``config``'s structure; ``None`` when it is not replayable.
+
+    Thin ``None``-on-failure wrapper over :func:`_compile_template_checked`
+    for callers that do not need the failure reason.
+    """
     try:
-        ranks = []
-        for profiler, trace, tape in zip(capture.profilers, capture.rank_traces,
-                                         capture.tapes):
-            rank = _capture_rank(profiler.recorder, trace, tape)
-            preamble = tape.preamble_segments(spec.cuda_malloc_overhead_ns)
-            if preamble < 0:
-                raise TemplateError("pre-attach clock time is not whole segments")
-            rank.preamble_segments = preamble
-            ranks.append(rank)
-        allocator_stats = {k: int(v) for k, v in session.allocator_stats.items()}
-        has_segment_free = (
-            allocator_stats.get("segment_frees", 0) > 0
-            or any(bool((rank.event_kind == _SEGMENT_FREE_CODE).any())
-                   for rank in ranks))
-        meta = {
-            "schema": TEMPLATE_SCHEMA_VERSION,
-            "allocator": config.allocator,
-            "allocator_name": session.trace.metadata.get("allocator",
-                                                         config.allocator),
-            "n_ranks": len(ranks),
-            "compile_capacity": int(spec.memory_capacity),
-            "has_segment_free": bool(has_segment_free),
-            "peak_reserved_validity": int(session.peak_reserved_bytes),
-            "peak_allocated_bytes": int(session.peak_allocated_bytes),
-            "peak_reserved_bytes": int(session.peak_reserved_bytes),
-            "parameter_bytes": int(session.parameter_bytes),
-            "parameter_count": int(session.parameter_count),
-            "allocator_stats": allocator_stats,
-            "iteration_stats": [
-                {"index": stats.index, "loss": stats.loss,
-                 "allocated_bytes_end": int(stats.allocated_bytes_end),
-                 "peak_allocated_bytes": int(stats.peak_allocated_bytes),
-                 "reserved_bytes_end": int(stats.reserved_bytes_end)}
-                for stats in session.iteration_stats
-            ],
-        }
-        return TraceTemplate(key, meta, ranks)
+        return _compile_template_checked(config)
     except TemplateError:
         return None
+
+
+# -- dtype-generalized families -------------------------------------------------------
+
+
+class TemplateFamily:
+    """Per-dtype :class:`TraceTemplate` variants sharing one structural key.
+
+    ``dtype`` changes the event stream (half-precision tensors allocate
+    half-width activations and AMP keeps fp32 master weights), so each dtype
+    needs its own captured variant — but the *family* identity, the
+    persisted ``.npz`` and the compile accounting are shared: a family is
+    compiled once, then widened lazily by one extra capture per new dtype,
+    and variants whose arrays match the base variant are persisted as
+    references rather than copies.
+
+    ``variants`` maps dtype name to the captured :class:`TraceTemplate`, or
+    to ``None`` for a dtype whose capture failed (memoized so a sweep pays
+    the failed attempt only once).
+    """
+
+    def __init__(self, key: str,
+                 variants: Optional[Dict[str, Optional[TraceTemplate]]] = None):
+        self.key = key
+        self.variants: Dict[str, Optional[TraceTemplate]] = dict(variants or {})
+        #: Whether this engine/process ran a fresh capture for the family
+        #: (as opposed to loading every variant from the store).
+        self.compiled_fresh = False
+
+    def get(self, dtype: str) -> Optional[TraceTemplate]:
+        """The captured variant for ``dtype`` (``None`` if absent or failed)."""
+        return self.variants.get(dtype)
+
+    def captured_dtypes(self) -> List[str]:
+        """Dtypes with a successfully captured variant, sorted."""
+        return sorted(dtype for dtype, template in self.variants.items()
+                      if template is not None)
+
+    def capture(self, config: TrainingRunConfig) -> TraceTemplate:
+        """Capture (and memoize) the variant for ``config.dtype``.
+
+        Raises the capture's reason-coded :class:`TemplateError` on failure
+        after memoizing the failure, so repeated requests for a broken dtype
+        do not re-run the simulation.
+        """
+        dtype = config.dtype
+        try:
+            template = _compile_template_checked(config)
+        except TemplateError:
+            self.variants[dtype] = None
+            raise
+        self.variants[dtype] = template
+        self.compiled_fresh = True
+        return template
 
 
 # -- persistence ----------------------------------------------------------------------
@@ -784,37 +1196,102 @@ _RANK_ARRAYS = ("tape_kind", "tape_duration_ns", "tape_nbytes", "tape_flops",
                 "event_size", "event_category", "event_iteration",
                 "event_tape_pos", "mark_spans", "lifetimes")
 
+#: (column group, members) pairs that must agree in length for a persisted
+#: rank to be loadable — the torn-write / corruption screen on load.
+_TAPE_COLUMNS = ("tape_kind", "tape_duration_ns", "tape_nbytes", "tape_flops",
+                 "tape_bytes_moved")
+_EVENT_COLUMNS = ("event_kind", "event_block", "event_address", "event_size",
+                  "event_category", "event_iteration", "event_tape_pos")
 
-def save_template(template: TraceTemplate, path: Path) -> None:
-    """Persist a template as a single ``.npz`` (numeric arrays + JSON header)."""
+
+def _validate_rank_columns(columns: Dict[str, np.ndarray], info: dict) -> None:
+    """Raise when a persisted rank's arrays are mutually inconsistent."""
+    tape_len = len(columns["tape_kind"])
+    for name in _TAPE_COLUMNS:
+        if len(columns[name]) != tape_len:
+            raise ValueError(f"tape column {name} length mismatch")
+    event_len = len(columns["event_kind"])
+    for name in _EVENT_COLUMNS:
+        if len(columns[name]) != event_len:
+            raise ValueError(f"event column {name} length mismatch")
+    if len(info["event_tags"]) != event_len or len(info["event_ops"]) != event_len:
+        raise ValueError("event annotation length mismatch")
+    tape_pos = columns["event_tape_pos"]
+    if event_len and (int(tape_pos.min()) < -1 or int(tape_pos.max()) >= tape_len):
+        raise ValueError("event tape position out of range")
+    if columns["mark_spans"].ndim != 2 or columns["mark_spans"].shape[1] != 2:
+        raise ValueError("mark span table malformed")
+    lifetimes = columns["lifetimes"]
+    if (lifetimes.ndim != 2 or lifetimes.shape[0] != 8
+            or lifetimes.shape[1] != len(info["lifetime_tags"])):
+        raise ValueError("lifetime table malformed")
+
+
+def save_family(family: TemplateFamily, path: Path) -> None:
+    """Persist a family atomically as a single ``.npz``.
+
+    Arrays are namespaced ``v{variant}_r{rank}_{column}``; any array of a
+    later variant that is byte-identical to the base variant's same-rank
+    column is recorded in the header's ``aliased_arrays`` list instead of
+    being written again, so a dtype variant costs only its structural delta.
+    The file is written to a pid-unique temp name and published with
+    ``os.replace`` so a parallel reader never sees a torn template.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     arrays: Dict[str, np.ndarray] = {}
+    variant_items = sorted((dtype, template)
+                           for dtype, template in family.variants.items()
+                           if template is not None)
+    base = variant_items[0][1] if variant_items else None
+    variants_header = []
+    for j, (dtype, template) in enumerate(variant_items):
+        ranks_header = []
+        for i, rank in enumerate(template.ranks):
+            aliased = []
+            for name in _RANK_ARRAYS:
+                column = np.asarray(getattr(rank, name))
+                if j > 0 and i < len(base.ranks):
+                    base_column = np.asarray(getattr(base.ranks[i], name))
+                    if (column.dtype == base_column.dtype
+                            and column.shape == base_column.shape
+                            and np.array_equal(column, base_column)):
+                        aliased.append(name)
+                        continue
+                arrays[f"v{j}_r{i}_{name}"] = column
+            ranks_header.append({
+                "event_tags": rank.event_tags,
+                "event_ops": rank.event_ops,
+                "mark_indices": rank.mark_indices,
+                "lifetime_tags": rank.lifetime_tags,
+                "preamble_segments": rank.preamble_segments,
+                "aliased_arrays": aliased,
+            })
+        variants_header.append({"dtype": dtype, "meta": template.meta,
+                                "ranks": ranks_header})
     header = {
         "schema": TEMPLATE_SCHEMA_VERSION,
-        "key": template.key,
-        "meta": template.meta,
-        "ranks": [],
+        "key": family.key,
+        "variants": variants_header,
     }
-    for index, rank in enumerate(template.ranks):
-        for name in _RANK_ARRAYS:
-            arrays[f"r{index}_{name}"] = getattr(rank, name)
-        header["ranks"].append({
-            "event_tags": rank.event_tags,
-            "event_ops": rank.event_ops,
-            "mark_indices": rank.mark_indices,
-            "lifetime_tags": rank.lifetime_tags,
-            "preamble_segments": rank.preamble_segments,
-        })
     arrays["header"] = np.frombuffer(
         json.dumps(header).encode("utf-8"), dtype=np.uint8)
-    tmp = path.with_name(path.name + ".tmp.npz")
-    np.savez(tmp, **arrays)
-    tmp.replace(path)
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp.npz")
+    try:
+        np.savez(tmp, **arrays)
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
 
 
-def load_template(path: Path, key: Optional[str] = None) -> Optional[TraceTemplate]:
-    """Load a persisted template; ``None`` on any mismatch or corruption."""
+def load_family(path: Path, key: Optional[str] = None) -> Optional[TemplateFamily]:
+    """Load a persisted family; ``None`` on any mismatch or corruption.
+
+    Every rank's arrays are cross-validated (column lengths, tape-position
+    range, span/lifetime table shapes) so a torn or hand-edited file is
+    rejected rather than replayed.
+    """
     try:
         with np.load(path, allow_pickle=False) as data:
             header = json.loads(bytes(data["header"]).decode("utf-8"))
@@ -822,77 +1299,209 @@ def load_template(path: Path, key: Optional[str] = None) -> Optional[TraceTempla
                 return None
             if key is not None and header.get("key") != key:
                 return None
-            ranks = []
-            for index, info in enumerate(header["ranks"]):
-                columns = {name: np.array(data[f"r{index}_{name}"])
-                           for name in _RANK_ARRAYS}
-                ranks.append(RankTemplate(
-                    event_tags=[str(tag) for tag in info["event_tags"]],
-                    event_ops=[str(op) for op in info["event_ops"]],
-                    mark_indices=[int(i) for i in info["mark_indices"]],
-                    lifetime_tags=[str(tag) for tag in info["lifetime_tags"]],
-                    preamble_segments=int(info["preamble_segments"]),
-                    **columns,
-                ))
-            return TraceTemplate(header["key"], header["meta"], ranks)
+            family = TemplateFamily(str(header["key"]))
+            base_columns: List[Dict[str, np.ndarray]] = []
+            for j, variant_info in enumerate(header["variants"]):
+                ranks = []
+                for i, info in enumerate(variant_info["ranks"]):
+                    aliased = set(info.get("aliased_arrays", ()))
+                    columns = {}
+                    for name in _RANK_ARRAYS:
+                        if name in aliased:
+                            columns[name] = base_columns[i][name]
+                        else:
+                            columns[name] = np.array(data[f"v{j}_r{i}_{name}"])
+                    _validate_rank_columns(columns, info)
+                    ranks.append(RankTemplate(
+                        event_tags=[str(tag) for tag in info["event_tags"]],
+                        event_ops=[str(op) for op in info["event_ops"]],
+                        mark_indices=[int(x) for x in info["mark_indices"]],
+                        lifetime_tags=[str(tag) for tag in info["lifetime_tags"]],
+                        preamble_segments=int(info["preamble_segments"]),
+                        **columns,
+                    ))
+                    if j == 0:
+                        base_columns.append(columns)
+                family.variants[str(variant_info["dtype"])] = TraceTemplate(
+                    str(header["key"]), variant_info["meta"], ranks)
+            return family
     except Exception:
         return None
+
+
+def save_template(template: TraceTemplate, path: Path) -> None:
+    """Persist one template as a single-variant family (compat wrapper)."""
+    save_family(TemplateFamily(template.key, {template.dtype: template}), path)
+
+
+def load_template(path: Path, key: Optional[str] = None,
+                  dtype: Optional[str] = None) -> Optional[TraceTemplate]:
+    """Load one variant from a persisted family (compat wrapper).
+
+    Without ``dtype``, returns the family's base variant; ``None`` on any
+    mismatch, corruption, or absent dtype.
+    """
+    family = load_family(path, key=key)
+    if family is None:
+        return None
+    if dtype is None:
+        captured = family.captured_dtypes()
+        dtype = captured[0] if captured else ""
+    return family.get(dtype)
 
 
 # -- the engine -----------------------------------------------------------------------
 
 
+def _freeze(value):
+    """Hashable mirror of a JSON-ish config value (for grouping tokens)."""
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    return value
+
+
 class ReplayEngine:
     """Compile-once / replay-many scenario pricer.
 
-    Templates are memoized per structural key; when ``template_dir`` is set
-    (the sweep runner points it next to its result cache) they are also
-    persisted as ``<key>.npz`` so later processes skip compilation entirely.
-    A memoized ``None`` marks a structure that failed to compile, so the
-    sweep only pays the attempted compilation once.
+    Template *families* (one per dtype-free structural key, holding one
+    captured variant per dtype) are memoized in memory; when
+    ``template_dir`` is set (the sweep runner points it next to its result
+    cache) they are also published through a
+    :class:`~repro.experiments.template_store.TemplateStore` — a JSON
+    manifest over content-addressed ``.npz`` files with an LRU bound — so
+    later processes skip compilation entirely.  A memoized ``None`` variant
+    marks a dtype whose capture failed, so the sweep only pays the
+    attempted compilation once.
+
+    Every scenario that cannot be replay-priced bumps
+    ``fallback_reasons[<TemplateError reason>]``; the sweep CLI surfaces the
+    tally so fallbacks to fresh simulation are explained, not silent.
     """
 
-    def __init__(self, template_dir: Optional[Path] = None):
+    def __init__(self, template_dir: Optional[Path] = None,
+                 store: Optional["TemplateStore"] = None,
+                 max_stored: Optional[int] = None):
         self.template_dir = Path(template_dir) if template_dir is not None else None
-        self._templates: Dict[str, Optional[TraceTemplate]] = {}
+        if store is None and self.template_dir is not None:
+            from .template_store import TemplateStore
+            kwargs = {} if max_stored is None else {"max_entries": max_stored}
+            store = TemplateStore(self.template_dir, **kwargs)
+        self.store = store
+        self._families: Dict[str, TemplateFamily] = {}
+        #: Families that required at least one fresh capture this process
+        #: (store hits do not count, matching the pre-family semantics).
         self.templates_compiled = 0
+        #: Individual compile simulations run (>= ``templates_compiled``
+        #: when families were widened with extra dtypes).
+        self.variants_captured = 0
         self.replayed = 0
+        self.fallback_reasons: Dict[str, int] = {}
+
+    # -- family/variant resolution ----------------------------------------------
+
+    def _family_for(self, key: str) -> TemplateFamily:
+        family = self._families.get(key)
+        if family is None:
+            if self.store is not None:
+                family = self.store.load(key)
+            if family is None:
+                family = TemplateFamily(key)
+            self._families[key] = family
+        return family
+
+    def _variant_for(self, config: TrainingRunConfig) -> TraceTemplate:
+        """The captured variant serving ``config``; raises on any fallback."""
+        check_replay_envelope(config)
+        key = template_key(config)
+        family = self._family_for(key)
+        dtype = config.dtype
+        if dtype in family.variants:
+            template = family.variants[dtype]
+            if template is None:
+                raise TemplateError(
+                    f"dtype {dtype} previously failed to compile",
+                    reason="compile_failed")
+            return template
+        freshly_compiled_family = not family.compiled_fresh
+        template = family.capture(config)
+        self.variants_captured += 1
+        if freshly_compiled_family:
+            self.templates_compiled += 1
+        if self.store is not None:
+            self.store.publish(family)
+        return template
 
     def template_for(self, config: TrainingRunConfig) -> Optional[TraceTemplate]:
-        """The (possibly cached) template for ``config``'s structural key."""
+        """The (possibly cached) template variant for ``config`` (or ``None``)."""
         try:
-            key = template_key(config)
+            return self._variant_for(config)
         except TemplateError:
             return None
-        if key in self._templates:
-            return self._templates[key]
-        template = None
-        if self.template_dir is not None:
-            path = self.template_dir / f"{key}.npz"
-            if path.is_file():
-                template = load_template(path, key=key)
-        if template is None:
-            template = compile_template(config)
-            if template is not None:
-                self.templates_compiled += 1
-                if self.template_dir is not None:
-                    save_template(template, self.template_dir / f"{key}.npz")
-        self._templates[key] = template
-        return template
+
+    # -- pricing -----------------------------------------------------------------
+
+    def _count_fallback(self, reason: str, count: int = 1) -> None:
+        self.fallback_reasons[reason] = self.fallback_reasons.get(reason, 0) + count
+
+    @staticmethod
+    def _structural_token(config: TrainingRunConfig) -> Tuple:
+        """Cheap hashable grouping token: every non-pricing config field.
+
+        Two configs with equal tokens share a :func:`template_key`; the
+        token spares the batch dispatcher one sha256+JSON fingerprint per
+        scenario (the key is computed once per group instead).
+        """
+        return (config.model, _freeze(config.model_kwargs), config.dataset,
+                _freeze(config.dataset_kwargs), config.batch_size,
+                config.iterations, config.learning_rate, config.momentum,
+                config.optimizer, config.dtype, config.allocator,
+                "symbolic" if config.execution_mode == "virtual"
+                else config.execution_mode,
+                config.seed, config.n_devices, config.swap,
+                config.host_latency is None)
+
+    def price_batch(self, scenarios: Sequence,
+                    bandwidths_list: Sequence[BandwidthConfig]) -> List:
+        """Replay-price a grid of scenarios, batching within each structure.
+
+        Returns one entry per scenario: the priced
+        :class:`~repro.experiments.sweep.ScenarioResult`, or ``None`` for
+        scenarios that must be simulated fresh (with the reason tallied in
+        ``fallback_reasons``).
+        """
+        results: List = [None] * len(scenarios)
+        groups: Dict[Tuple, List[int]] = {}
+        for i, scenario in enumerate(scenarios):
+            token = self._structural_token(scenario.config)
+            groups.setdefault(token, []).append(i)
+        for indices in groups.values():
+            try:
+                template = self._variant_for(scenarios[indices[0]].config)
+            except TemplateError as exc:
+                self._count_fallback(exc.reason, len(indices))
+                continue
+            eligible = []
+            for i in indices:
+                if template.valid_for(scenarios[i].config):
+                    eligible.append(i)
+                else:
+                    self._count_fallback("capacity_mismatch")
+            if not eligible:
+                continue
+            started = time.perf_counter()
+            priced = template.replay_batch(
+                [scenarios[i] for i in eligible],
+                [bandwidths_list[i] for i in eligible], started)
+            for i, result in zip(eligible, priced):
+                results[i] = result
+                self.replayed += 1
+        return results
 
     def price(self, scenario, bandwidths: BandwidthConfig):
         """Replay-price one sweep scenario; ``None`` means "simulate it fresh"."""
-        config = scenario.config
-        if (config.swap != "off" or config.host_latency is not None
-                or config.execution_mode not in ("symbolic", "virtual")):
-            return None
-        template = self.template_for(config)
-        if template is None or not template.valid_for(config):
-            return None
-        started = time.perf_counter()
-        result = template.replay(scenario, bandwidths, started)
-        self.replayed += 1
-        return result
+        return self.price_batch([scenario], [bandwidths])[0]
 
     def replay_trace(self, config: TrainingRunConfig) -> Optional[MemoryTrace]:
         """Rebuild the merged trace for ``config`` (test/debug helper)."""

@@ -168,7 +168,7 @@ class Scenario:
         share a cache entry.
         """
         bandwidths = self.resolve_bandwidths(bandwidths)
-        config = asdict(self.config)
+        config = self.config.to_dict()
         config.pop("label", None)
         return {
             "schema_version": RESULT_SCHEMA_VERSION,
@@ -544,8 +544,15 @@ class SweepResult:
     wall_time_s: float
     #: Scenarios priced by template replay (a subset of ``cache_misses``).
     replayed: int = 0
-    #: Trace templates compiled during this run (once per structure).
+    #: Template *families* that needed a fresh compile this run (one family
+    #: per dtype-free structure; store hits do not count).
     templates_compiled: int = 0
+    #: Individual compile simulations run (>= ``templates_compiled`` when a
+    #: family was widened with extra dtype variants).
+    template_variants: int = 0
+    #: Replay-eligible scenarios that fell back to fresh simulation, tallied
+    #: by :class:`~repro.experiments.replay.TemplateError` reason code.
+    replay_fallbacks: Dict[str, int] = field(default_factory=dict)
 
     def __len__(self) -> int:
         return len(self.results)
@@ -621,12 +628,17 @@ class SweepRunner:
     def __init__(self, cache_dir: Optional[Union[str, Path]] = None, workers: int = 1,
                  use_cache: bool = True,
                  bandwidths: Optional[BandwidthConfig] = None,
-                 chunk_size: Optional[int] = None):
+                 chunk_size: Optional[int] = None,
+                 replay_batching: bool = True):
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.workers = max(1, int(workers))
         self.use_cache = bool(use_cache)
         self.bandwidths = bandwidths
         self.chunk_size = chunk_size
+        #: Route replay scenarios through the grid-batched pricer
+        #: (:meth:`ReplayEngine.price_batch`); ``False`` restores the
+        #: scenario-at-a-time scalar path (benchmark baseline).
+        self.replay_batching = bool(replay_batching)
         self._pool: Optional[ProcessPoolExecutor] = None
         self._replay_engine = None  # lazy ReplayEngine (replay scenarios only)
 
@@ -721,6 +733,10 @@ class SweepRunner:
         for path in (self.cache_dir / "templates").glob("*.npz"):
             path.unlink()
             removed += 1
+        index_path = self.cache_dir / "templates" / "index.json"
+        if index_path.is_file():
+            index_path.unlink()
+            removed += 1
         return removed
 
     # -- replay -----------------------------------------------------------------------
@@ -755,23 +771,40 @@ class SweepRunner:
                 missing.append((index, scenario))
 
         failure: Optional[Exception] = None
-        replayed = templates_compiled = 0
+        replayed = templates_compiled = template_variants = 0
+        replay_fallbacks: Dict[str, int] = {}
         replay_candidates = [(i, s) for i, s in missing if s.via_replay]
         if replay_candidates:
             # Replay runs serially in-process: pricing a scenario from a
             # memoized template is far cheaper than shipping it to a pool
             # worker.  Scenarios the engine declines (no template, structure
             # invalid for the target capacity, swap engine on) stay in
-            # ``missing`` and take the ordinary simulation path below.
+            # ``missing`` and take the ordinary simulation path below, with
+            # the decline reason tallied in ``replay_fallbacks``.
             engine = self._ensure_replay_engine()
-            priced: set = set()
-            for index, scenario in replay_candidates:
+            bandwidths_list = [scenario.resolve_bandwidths(self.bandwidths)
+                               for _, scenario in replay_candidates]
+            if self.replay_batching:
+                # Whole grid in one call: the engine groups the scenarios by
+                # structure and prices each group as a single broadcast.
                 try:
-                    result = engine.price(
-                        scenario, scenario.resolve_bandwidths(self.bandwidths))
-                except Exception as error:  # re-raised after the loop drains
+                    outcomes = engine.price_batch(
+                        [scenario for _, scenario in replay_candidates],
+                        bandwidths_list)
+                except Exception as error:  # re-raised after the run drains
                     failure = failure or error
-                    continue
+                    outcomes = [None] * len(replay_candidates)
+            else:
+                outcomes = []
+                for (_, scenario), bandwidths in zip(replay_candidates,
+                                                     bandwidths_list):
+                    try:
+                        outcomes.append(engine.price(scenario, bandwidths))
+                    except Exception as error:  # re-raised after the run drains
+                        failure = failure or error
+                        outcomes.append(None)
+            priced: set = set()
+            for (index, scenario), result in zip(replay_candidates, outcomes):
                 if result is None:
                     continue
                 results[index] = result
@@ -780,6 +813,8 @@ class SweepRunner:
             missing = [(i, s) for i, s in missing if i not in priced]
             replayed = engine.replayed
             templates_compiled = engine.templates_compiled
+            template_variants = engine.variants_captured
+            replay_fallbacks = dict(engine.fallback_reasons)
 
         if missing:
             # Each result is cached the moment its chunk completes, so one
@@ -834,6 +869,8 @@ class SweepRunner:
             wall_time_s=time.perf_counter() - started,
             replayed=replayed,
             templates_compiled=templates_compiled,
+            template_variants=template_variants,
+            replay_fallbacks=replay_fallbacks,
         )
 
 

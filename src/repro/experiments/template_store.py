@@ -1,0 +1,155 @@
+"""Template store: a JSON manifest over content-addressed template files.
+
+The replay engine persists one ``.npz`` per :class:`TemplateFamily`, named
+by the family's structural key (a content hash of the dtype-free config
+fingerprint).  This module fronts that directory with a small manifest,
+``index.json``, giving the three properties a shared pool needs:
+
+* **O(1) lookup** — the manifest maps key → file without globbing the
+  directory, and records which dtypes each family has captured so a caller
+  can tell a miss from a family that merely lacks the requested variant.
+* **LRU bound** — every publish and load bumps a monotonically increasing
+  sequence number; when the pool exceeds ``max_entries`` the
+  least-recently-used families are deleted, so long-lived sweep services do
+  not grow the template directory without bound.
+* **Atomic publish** — both the ``.npz`` (see
+  :func:`~repro.experiments.replay.save_family`) and the manifest are
+  written to pid-unique temp files and published with ``os.replace``, so
+  parallel sweep workers sharing one cache directory never read a torn
+  file.  The manifest is advisory: :meth:`load` falls back to probing the
+  directory directly, so a stale or missing index degrades to the pre-index
+  behavior instead of hiding templates.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional
+
+from .replay import TemplateFamily, load_family, save_family
+
+#: Manifest file name inside the template directory.
+INDEX_NAME = "index.json"
+
+#: Version of the manifest layout; bump to discard stale manifests (the
+#: ``.npz`` files themselves carry their own schema version).
+STORE_SCHEMA_VERSION = 1
+
+#: Default LRU bound on stored families.
+DEFAULT_MAX_ENTRIES = 64
+
+
+class TemplateStore:
+    """Directory of persisted template families with a manifest index."""
+
+    def __init__(self, root: Path, max_entries: int = DEFAULT_MAX_ENTRIES):
+        self.root = Path(root)
+        self.max_entries = max_entries
+
+    @property
+    def index_path(self) -> Path:
+        """Path of the JSON manifest inside the store directory."""
+        return self.root / INDEX_NAME
+
+    def path_for(self, key: str) -> Path:
+        """Content-addressed archive path for a family key."""
+        return self.root / f"{key}.npz"
+
+    # -- manifest ----------------------------------------------------------------
+
+    def read_index(self) -> dict:
+        """The manifest, or a fresh empty one when absent/corrupt/stale."""
+        try:
+            raw = json.loads(self.index_path.read_text(encoding="utf-8"))
+            if raw.get("schema") != STORE_SCHEMA_VERSION:
+                raise ValueError("stale manifest schema")
+            if not isinstance(raw.get("entries"), dict):
+                raise ValueError("malformed manifest")
+            raw["next_seq"] = int(raw.get("next_seq", 0))
+            return raw
+        except Exception:
+            return {"schema": STORE_SCHEMA_VERSION, "entries": {}, "next_seq": 0}
+
+    def _write_index(self, index: dict) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        tmp = self.root / f".{INDEX_NAME}.{os.getpid()}.tmp"
+        tmp.write_text(json.dumps(index, indent=2, sort_keys=True),
+                       encoding="utf-8")
+        os.replace(tmp, self.index_path)
+
+    def _touch(self, index: dict, key: str, entry: Dict) -> None:
+        entry["seq"] = index["next_seq"]
+        index["next_seq"] += 1
+        index["entries"][key] = entry
+
+    # -- lookup / load / publish -------------------------------------------------
+
+    def lookup(self, key: str) -> Optional[Dict]:
+        """The manifest entry for ``key`` (falls back to a directory probe).
+
+        Returns ``None`` when the family is not stored; a probe hit outside
+        the manifest is reported as a minimal entry so callers can still
+        :meth:`load` it.
+        """
+        entry = self.read_index()["entries"].get(key)
+        if entry is not None:
+            return dict(entry)
+        path = self.path_for(key)
+        if path.is_file():
+            return {"file": path.name, "bytes": path.stat().st_size,
+                    "dtypes": [], "seq": -1}
+        return None
+
+    def load(self, key: str) -> Optional[TemplateFamily]:
+        """Load and LRU-touch the stored family for ``key`` (``None`` on miss).
+
+        Corrupt or key-mismatched files are treated as misses and dropped
+        from the manifest, so the caller recompiles instead of failing.
+        """
+        path = self.path_for(key)
+        if not path.is_file():
+            return None
+        family = load_family(path, key=key)
+        index = self.read_index()
+        if family is None:
+            if index["entries"].pop(key, None) is not None:
+                self._write_index(index)
+            return None
+        entry = index["entries"].get(key) or self._entry_for(path, family)
+        self._touch(index, key, entry)
+        self._write_index(index)
+        return family
+
+    def publish(self, family: TemplateFamily) -> Path:
+        """Atomically persist ``family`` and update the manifest (with LRU).
+
+        Returns the published ``.npz`` path.
+        """
+        path = self.path_for(family.key)
+        save_family(family, path)
+        index = self.read_index()
+        self._touch(index, family.key, self._entry_for(path, family))
+        entries = index["entries"]
+        while self.max_entries is not None and len(entries) > self.max_entries:
+            victim = min(entries, key=lambda k: entries[k].get("seq", -1))
+            victim_entry = entries.pop(victim)
+            try:
+                (self.root / victim_entry.get("file", f"{victim}.npz")).unlink()
+            except OSError:
+                pass
+        self._write_index(index)
+        return path
+
+    def _entry_for(self, path: Path, family: TemplateFamily) -> Dict:
+        return {
+            "file": path.name,
+            "bytes": int(path.stat().st_size),
+            "dtypes": family.captured_dtypes(),
+            "seq": -1,
+        }
+
+    def keys(self) -> Dict[str, Dict]:
+        """All manifest entries (key → entry), for inspection/tests."""
+        return dict(self.read_index()["entries"])

@@ -123,6 +123,25 @@ def test_cache_hit_rows_are_bitwise_identical(tmp_path):
                 == json.dumps(loaded.to_dict(), sort_keys=True))
 
 
+@pytest.mark.parametrize("seed", [20, 21, 22, 23])
+def test_batched_repricing_matches_scalar_replay(seed):
+    """For any randomly drawn scenario grid, ``price_batch`` is
+    element-for-element bit-identical to pricing each scenario alone —
+    whether a row takes the vectorized broadcast or the per-scenario
+    fallback inside :meth:`TraceTemplate.replay_batch`."""
+    rng = random.Random(seed)
+    scenarios = [Scenario(config=sample_config(rng)) for _ in range(6)]
+    bandwidths = [s.resolve_bandwidths() for s in scenarios]
+    scalar = [ReplayEngine().price(s, bw)
+              for s, bw in zip(scenarios, bandwidths)]
+    batched = ReplayEngine().price_batch(scenarios, bandwidths)
+    for one, many in zip(scalar, batched):
+        assert one is not None and many is not None
+        one, many = one.to_dict(), many.to_dict()
+        one.pop("wall_time_s"), many.pop("wall_time_s")
+        assert one == many
+
+
 def test_memoized_replays_are_deterministic():
     """Pricing the same scenario twice through one engine gives identical
     rows (wall time aside) — replay holds no mutable state per scenario."""

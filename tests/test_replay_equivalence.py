@@ -287,3 +287,205 @@ def test_corrupt_template_file_loads_as_none(tmp_path):
     path.write_bytes(b"not an npz archive")
     assert load_template(path) is None
     assert load_template(tmp_path / "missing.npz") is None
+
+
+# -- batched grid repricing -----------------------------------------------------------
+
+
+def batch_grid_scenarios():
+    """A small pricing grid: 2 dtypes x 2 specs x 3 dispatch overheads."""
+    scenarios = []
+    for dtype in ("float32", "float16"):
+        for spec in ("titan_x_pascal", "v100_sxm2_16gb"):
+            for overhead in (None, 2_000, 9_000):
+                overrides = {"dtype": dtype, "device_spec": spec}
+                if overhead is not None:
+                    overrides["host_dispatch_overhead_ns"] = overhead
+                scenarios.append(make_scenario(**overrides))
+    return scenarios
+
+
+def test_price_batch_matches_scalar_replay_element_for_element():
+    """The batched broadcast is bit-identical to scenario-at-a-time replay."""
+    scenarios = batch_grid_scenarios()
+    bandwidths = [s.resolve_bandwidths() for s in scenarios]
+    scalar_engine = ReplayEngine()
+    scalar = [scalar_engine.price(s, bw)
+              for s, bw in zip(scenarios, bandwidths)]
+    batch_engine = ReplayEngine()
+    batched = batch_engine.price_batch(scenarios, bandwidths)
+    assert all(result is not None for result in batched)
+    for one, many in zip(scalar, batched):
+        assert comparable(one) == comparable(many)
+
+
+def test_price_batch_is_bit_identical_to_fresh_symbolic():
+    """...and therefore to fresh simulation, the ground truth."""
+    scenarios = batch_grid_scenarios()
+    engine = ReplayEngine()
+    batched = engine.price_batch(
+        scenarios, [s.resolve_bandwidths() for s in scenarios])
+    for scenario, result in zip(scenarios, batched):
+        assert comparable(result) == comparable(run_scenario(scenario))
+    assert engine.templates_compiled == 1  # one family serves the whole grid
+    assert engine.variants_captured == 2  # one capture per dtype
+    assert engine.replayed == len(scenarios)
+
+
+def test_price_batch_handles_multi_rank_scenarios():
+    """Sync-carrying (multi-rank) scenarios batch through the scalar fallback
+    inside ``replay_batch`` and stay exact."""
+    scenarios = [make_scenario(n_devices=2, dtype=dtype, **overrides)
+                 for dtype in ("float32", "float16")
+                 for overrides in ({}, {"interconnect": "nvlink2"},
+                                   {"host_dispatch_overhead_ns": 2_000})]
+    engine = ReplayEngine()
+    batched = engine.price_batch(
+        scenarios, [s.resolve_bandwidths() for s in scenarios])
+    for scenario, result in zip(scenarios, batched):
+        assert comparable(result) == comparable(run_scenario(scenario))
+    assert engine.templates_compiled == 1
+
+
+def test_sweep_batching_off_matches_batched_dispatch():
+    """``SweepRunner(replay_batching=False)`` (the benchmark baseline) and
+    the batched default produce identical rows and accounting."""
+    grid = replay_grid(dtypes=("float32", "float16"))
+    batched = SweepRunner().run(grid)
+    scalar = SweepRunner(replay_batching=False).run(grid)
+    assert len(batched.results) == len(scalar.results) == 8
+    assert batched.replayed == scalar.replayed == 8
+    assert batched.templates_compiled == scalar.templates_compiled == 1
+    assert batched.template_variants == scalar.template_variants == 2
+    for one, many in zip(scalar.results, batched.results):
+        assert comparable(one) == comparable(many)
+
+
+# -- dtype-generalized template families ----------------------------------------------
+
+
+def test_template_key_is_dtype_invariant():
+    """``dtype`` is a generalized axis: fp32 and fp16 share one family key."""
+    base = make_scenario().config
+    assert template_key(base) == template_key(
+        TrainingRunConfig(**{**base.__dict__, "dtype": "float16"}))
+
+
+@pytest.mark.parametrize("n_devices", [1, 2])
+@pytest.mark.parametrize("dtype", ["float32", "float16"])
+def test_dtype_variants_replay_bit_identical_to_symbolic(dtype, n_devices):
+    """One family, widened per dtype, stays exact (incl. AMP master-weight
+    structural deltas) across replica counts."""
+    engine = ReplayEngine()
+    assert_replay_exact(engine, make_scenario(dtype="float32",
+                                              n_devices=n_devices))
+    assert_replay_exact(engine, make_scenario(dtype=dtype,
+                                              n_devices=n_devices))
+    assert engine.templates_compiled == 1
+
+
+def test_one_family_serves_both_dtypes_across_pricing_points():
+    engine = ReplayEngine()
+    for dtype in ("float32", "float16"):
+        for overrides in ({}, {"device_spec": "v100_sxm2_16gb"},
+                          {"host_dispatch_overhead_ns": 2_000}):
+            assert_replay_exact(engine, make_scenario(dtype=dtype, **overrides))
+    assert engine.templates_compiled == 1
+    assert engine.variants_captured == 2
+    assert engine.replayed == 6
+
+
+def test_family_round_trips_with_dtype_variants(tmp_path):
+    from repro.experiments.replay import TemplateFamily, load_family, save_family
+
+    fp32 = make_scenario(dtype="float32")
+    fp16 = make_scenario(dtype="float16")
+    family = TemplateFamily(template_key(fp32.config))
+    family.capture(fp32.config)
+    family.capture(fp16.config)
+    path = tmp_path / "family.npz"
+    save_family(family, path)
+    loaded = load_family(path, key=family.key)
+    assert loaded is not None
+    assert loaded.captured_dtypes() == ["float16", "float32"]
+    for scenario in (fp32, fp16):
+        variant = loaded.get(scenario.config.dtype)
+        replayed = variant.replay(scenario, scenario.resolve_bandwidths(), 0.0)
+        assert comparable(replayed) == comparable(run_scenario(scenario))
+
+
+def test_load_template_selects_the_requested_dtype_variant(tmp_path):
+    from repro.experiments.replay import TemplateFamily, save_family
+
+    fp32 = make_scenario(dtype="float32").config
+    fp16 = make_scenario(dtype="float16").config
+    family = TemplateFamily(template_key(fp32))
+    family.capture(fp32)
+    family.capture(fp16)
+    path = tmp_path / "family.npz"
+    save_family(family, path)
+    assert load_template(path, dtype="float16").dtype == "float16"
+    assert load_template(path, dtype="float32").dtype == "float32"
+    assert load_template(path, dtype="bfloat16") is None
+
+
+def test_failed_dtype_capture_is_memoized_not_retried():
+    from repro.experiments.replay import TemplateFamily
+
+    config = make_scenario().config
+    family = TemplateFamily(template_key(config))
+    broken = TrainingRunConfig(**{**config.__dict__, "swap": "lru"})
+    with pytest.raises(TemplateError):
+        family.capture(broken)
+    assert family.variants[broken.dtype] is None  # memoized failure
+
+
+# -- fallback-reason accounting -------------------------------------------------------
+
+
+def test_engine_tallies_fallback_reasons():
+    engine = ReplayEngine()
+    swap_on = make_scenario(swap="lru")
+    eager = make_scenario(execution_mode="eager")
+    assert engine.price(swap_on, swap_on.resolve_bandwidths()) is None
+    assert engine.price(eager, eager.resolve_bandwidths()) is None
+    assert engine.fallback_reasons == {"swap_execution": 1, "eager_mode": 1}
+
+
+def test_sweep_surfaces_replay_fallback_reasons():
+    grid = replay_grid(host_dispatch_overheads_ns=(None,),
+                       device_specs=("titan_x_pascal",),
+                       swaps=("off", "lru"))
+    result = SweepRunner().run(grid)
+    assert result.replayed == 1
+    assert result.replay_fallbacks == {"swap_execution": 1}
+    assert result.template_variants == 1
+
+
+# -- atomic persistence and the template store ----------------------------------------
+
+
+def test_save_family_leaves_no_temp_files(tmp_path):
+    template = compile_template(make_scenario().config)
+    path = tmp_path / "template.npz"
+    save_template(template, path)
+    assert [p.name for p in tmp_path.iterdir()] == ["template.npz"]
+
+
+def test_engine_persists_families_through_the_store(tmp_path):
+    engine = ReplayEngine(template_dir=tmp_path)
+    assert_replay_exact(engine, make_scenario())
+    assert_replay_exact(engine, make_scenario(dtype="float16"))
+    assert engine.templates_compiled == 1
+    assert (tmp_path / "index.json").is_file()
+
+    # A later process loads the family from the store: no fresh compile, and
+    # pricing stays exact for both dtypes at a new pricing point.
+    second = ReplayEngine(template_dir=tmp_path)
+    assert_replay_exact(second,
+                        make_scenario(device_spec="v100_sxm2_16gb"))
+    assert_replay_exact(second,
+                        make_scenario(dtype="float16",
+                                      device_spec="v100_sxm2_16gb"))
+    assert second.templates_compiled == 0
+    assert second.variants_captured == 0

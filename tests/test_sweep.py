@@ -74,6 +74,21 @@ def test_scenario_key_ignores_label_but_not_workload():
     assert Scenario(config_a, swap_policy="planner").key() != Scenario(config_a).key()
 
 
+def test_config_to_dict_matches_dataclasses_asdict():
+    """Scenario fingerprints hash ``config.to_dict()``; it must stay a faithful
+    (recursion-free) mirror of ``dataclasses.asdict`` or cache keys drift."""
+    import dataclasses
+
+    config = TrainingRunConfig(model="mlp", model_kwargs={"hidden_dim": 32},
+                               batch_size=16, iterations=2, dtype="float16",
+                               n_devices=2, host_dispatch_overhead_ns=2_000,
+                               execution_mode="symbolic")
+    assert config.to_dict() == dataclasses.asdict(config)
+    # A mutation of the returned mapping must not leak back into the config.
+    config.to_dict()["model_kwargs"]["hidden_dim"] = 64
+    assert config.model_kwargs == {"hidden_dim": 32}
+
+
 # -- scenario execution ---------------------------------------------------------------
 
 
