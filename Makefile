@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test bench bench-smoke bench-suite report docs-check sweep-smoke sweep-scaling swap-smoke replay-smoke frontier-smoke clean-cache
+.PHONY: test bench bench-smoke bench-suite report docs-check sweep-smoke sweep-scaling swap-smoke replay-smoke frontier-smoke chaos-smoke clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -58,6 +58,15 @@ replay-smoke:
 	$(PYTHON) -m pytest tests/test_replay_equivalence.py -q
 	$(PYTHON) -m repro sweep --models mlp --batch-sizes 32 --execution replay \
 		--devices titan_x_pascal,v100_sxm2_16gb --no-cache
+
+# Fault-tolerance smoke (the CI chaos-smoke leg): the chaos test suite
+# (deterministic fault injection, retry/timeout, journal resume, quarantine)
+# plus a seeded chaos sweep that must converge through injected faults.
+chaos-smoke:
+	$(PYTHON) -m pytest tests/test_chaos.py -q
+	$(PYTHON) -m repro sweep --models mlp --batch-sizes 16,32 --iterations 1 \
+		--chaos-seed 7 --retries 3 --backoff-s 0.01 --timeout 60 \
+		--workers 2 --strict --no-cache
 
 # Run the data-parallel scaling grid and regenerate the scaling report page
 # (docs/figures/scaling.md + its SVGs) from the cached results.

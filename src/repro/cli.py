@@ -180,6 +180,36 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="ignore and do not read cached results")
     sweep.add_argument("--clear-cache", action="store_true",
                        help="delete cached results before running")
+    sweep.add_argument("--retries", type=int, default=0,
+                       help="per-scenario retry budget for transient "
+                            "failures (worker crashes, timeouts, injected "
+                            "faults, I/O errors); deterministic failures "
+                            "(infeasible capacity, OOM, config errors) are "
+                            "recorded once and never retried")
+    sweep.add_argument("--backoff-s", type=float, default=0.05,
+                       help="base of the exponential backoff between retry "
+                            "rounds (round n sleeps backoff * 2^(n-1))")
+    sweep.add_argument("--timeout", type=float, default=None, metavar="S",
+                       help="per-scenario wall-clock deadline in seconds; "
+                            "overdue pool workers are killed and the "
+                            "scenario is retried or recorded as a timeout")
+    sweep.add_argument("--resume", action="store_true",
+                       help="consult the per-grid run journal: scenarios "
+                            "that already completed are served from cache "
+                            "and scenarios that failed deterministically in "
+                            "a prior run are skipped instead of re-executed")
+    sweep.add_argument("--strict", action="store_true",
+                       help="exit nonzero when any scenario failed; the "
+                            "default prints the partial grid plus a failure "
+                            "footer and exits 0 unless every scenario failed")
+    sweep.add_argument("--fault-plan", default=None, metavar="PATH",
+                       help="JSON fault-injection plan (testing: see "
+                            "repro.experiments.faults.FaultPlan)")
+    sweep.add_argument("--chaos-seed", type=int, default=None, metavar="N",
+                       help="derive a deterministic fault plan over the "
+                            "expanded grid from this seed (chaos testing; "
+                            "combine with --retries to watch the sweep "
+                            "converge through injected crashes)")
     sweep.add_argument("--dry-run", action="store_true",
                        help="print the expanded scenarios and exit")
     sweep.add_argument("--json", action="store_true", dest="as_json",
@@ -314,6 +344,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     import json as json_module
 
     from .device.cluster import INTERCONNECT_PRESETS
+    from .experiments.faults import FaultPlan
     from .experiments.sweep import (
         SWAP_EXECUTION_MODES,
         SWAP_POLICIES,
@@ -396,9 +427,26 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             print("  " + scenario.describe())
         return 0
 
+    fault_plan = None
+    if args.fault_plan is not None:
+        try:
+            fault_plan = FaultPlan.load(args.fault_plan)
+        except (OSError, ValueError, KeyError) as error:
+            print(f"error: --fault-plan: cannot load {args.fault_plan} "
+                  f"({error})", file=sys.stderr)
+            return 2
+    elif args.chaos_seed is not None:
+        fault_plan = FaultPlan.seeded(args.chaos_seed,
+                                      [scenario.key() for scenario in scenarios])
+        print(f"chaos: seeded fault plan (seed={args.chaos_seed}, "
+              f"{len(fault_plan.faults)} fault(s))")
+
     cache_dir = args.cache_dir if args.cache_dir is not None else default_cache_dir()
     with SweepRunner(cache_dir=cache_dir, workers=args.workers,
-                     use_cache=not args.no_cache) as runner:
+                     use_cache=not args.no_cache,
+                     retries=args.retries, backoff_s=args.backoff_s,
+                     timeout_s=args.timeout, strict=False,
+                     resume=args.resume, fault_plan=fault_plan) as runner:
         if args.clear_cache:
             removed = runner.clear_cache()
             print(f"cleared {removed} cached result(s)")
@@ -420,9 +468,25 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         reasons = ", ".join(f"{reason}={count}" for reason, count
                             in sorted(result.replay_fallbacks.items()))
         replay_note += f", {sum(result.replay_fallbacks.values())} simulated ({reasons})"
+    robustness_note = ""
+    if result.failures:
+        robustness_note += f", {len(result.failures)} failed"
+    if result.retries:
+        robustness_note += f", {result.retries} retried"
+    if result.resumed_skipped:
+        robustness_note += f", {result.resumed_skipped} resume-skipped"
     print(f"\n{len(result)} scenario(s) in {result.wall_time_s:.2f}s "
           f"({result.cache_hits} cached, {result.cache_misses} executed"
-          f"{replay_note}, workers={args.workers}, cache={cache_dir})")
+          f"{replay_note}{robustness_note}, workers={args.workers}, "
+          f"cache={cache_dir})")
+    if result.failures:
+        print("\n" + result.failure_summary(), file=sys.stderr)
+        if any(f.reason in ("infeasible", "oom") for f in result.failures):
+            print("hint: scenario(s) exceeded their --device-memory-gib "
+                  "capacity; raise the capacity or turn on --swap",
+                  file=sys.stderr)
+        if args.strict or not result.results:
+            return 1
     return 0
 
 

@@ -72,6 +72,64 @@ class InfeasibleScenarioError(DeviceError):
                 (self.requested, self.resident, self.evictable, self.capacity))
 
 
+class SweepFaultError(ReproError):
+    """Base class for *transient* sweep-infrastructure failures.
+
+    Errors in this family describe the harness (a worker died, a deadline
+    expired, a fault was injected) rather than the scenario itself, so the
+    fault-tolerant :class:`~repro.experiments.sweep.SweepRunner` classifies
+    them as retryable: the scenario is re-submitted under its retry budget
+    instead of being recorded as a deterministic failure.
+    """
+
+
+class InjectedFaultError(SweepFaultError):
+    """Raised by the deterministic fault-injection harness.
+
+    Carries the scenario key and the zero-based attempt the fault fired on,
+    so chaos tests can assert exactly *which* execution was disturbed.  The
+    error is transient by construction: a :class:`~repro.experiments.faults.FaultPlan`
+    stops firing once a fault's ``times`` budget is spent, so a retried
+    scenario converges to the fault-free result.
+    """
+
+    def __init__(self, key: str, attempt: int = 0, kind: str = "error"):
+        self.key = str(key)
+        self.attempt = int(attempt)
+        self.kind = str(kind)
+        super().__init__(
+            f"injected {self.kind} fault on scenario {self.key[:12]}... "
+            f"(attempt {self.attempt})"
+        )
+
+    def __reduce__(self):
+        """Pickle via the keyword fields (these cross the pool boundary)."""
+        return (InjectedFaultError, (self.key, self.attempt, self.kind))
+
+
+class ScenarioTimeoutError(SweepFaultError):
+    """Raised when a scenario exceeds its wall-clock deadline.
+
+    The fault-tolerant sweep runner kills the hung worker processes, rebuilds
+    the pool and records (or retries) the scenario with this structured
+    error; ``elapsed_s`` is the observed wall time, ``timeout_s`` the
+    configured per-scenario deadline.
+    """
+
+    def __init__(self, key: str, elapsed_s: float, timeout_s: float):
+        self.key = str(key)
+        self.elapsed_s = float(elapsed_s)
+        self.timeout_s = float(timeout_s)
+        super().__init__(
+            f"scenario {self.key[:12]}... exceeded its {timeout_s:.3f}s "
+            f"deadline ({elapsed_s:.3f}s elapsed)"
+        )
+
+    def __reduce__(self):
+        """Pickle via the keyword fields (these cross the pool boundary)."""
+        return (ScenarioTimeoutError, (self.key, self.elapsed_s, self.timeout_s))
+
+
 class InvalidFreeError(DeviceError):
     """Raised when freeing a pointer the allocator does not own."""
 

@@ -1,0 +1,135 @@
+"""Per-run sweep journal: crash-safe record of completed/failed scenarios.
+
+A sweep interrupted by Ctrl-C, an OOM-killed parent or a machine reboot
+should not have to redo finished work.  The content-addressed result cache
+already makes *completed* scenarios free to re-serve; what it cannot say is
+which scenarios already **failed deterministically** (an infeasible
+capacity, a mis-configured model) — re-running those burns the whole retry
+budget again on every restart.  The journal records both.
+
+Layout
+------
+``<cache_dir>/journals/<run_id>.json`` where ``run_id`` is a content hash
+of the sorted scenario keys (plus the result-schema version), so the same
+grid — however it was expanded, whatever order — resumes from the same
+journal, and two different grids never collide.  Every record is flushed
+with the same pid-unique-temp + ``os.replace`` discipline as the
+:class:`~repro.experiments.template_store.TemplateStore` manifest, so an
+interrupt at any instant leaves a valid journal describing a prefix of the
+run.
+
+Semantics on ``--resume``
+-------------------------
+* ``completed`` entries are *advisory*: the scenario is normally served by
+  the result cache; if its cache entry is missing or was quarantined, the
+  scenario re-runs (data wins over bookkeeping).
+* ``failed`` entries with kind ``deterministic`` are skipped outright and
+  surfaced again in the failure manifest (marked ``resumed``) — retrying
+  them cannot change the outcome.
+* ``failed`` entries with kind ``transient`` re-run with a fresh retry
+  budget: the fault that killed them (worker crash, timeout) may be gone.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional, Sequence
+
+#: Subdirectory of the sweep cache holding run journals.
+JOURNALS_DIR = "journals"
+
+#: Version of the journal layout; bump to discard stale journals.
+JOURNAL_SCHEMA_VERSION = 1
+
+
+def run_id_for_keys(keys: Sequence[str], schema_version: int) -> str:
+    """Deterministic run identity: a hash of the sorted scenario keys."""
+    digest = hashlib.sha256()
+    digest.update(f"journal-v{JOURNAL_SCHEMA_VERSION}-r{schema_version}".encode())
+    for key in sorted(keys):
+        digest.update(key.encode("ascii"))
+    return digest.hexdigest()[:16]
+
+
+class RunJournal:
+    """Atomic on-disk record of one grid's per-scenario outcomes."""
+
+    STATUS_COMPLETED = "completed"
+    STATUS_FAILED = "failed"
+
+    def __init__(self, path: Path, run_id: str):
+        self.path = Path(path)
+        self.run_id = run_id
+        #: key -> {"status", "attempts", and for failures "reason"/"kind"}.
+        self.entries: Dict[str, Dict[str, object]] = {}
+
+    @classmethod
+    def for_keys(cls, cache_dir: Path, keys: Sequence[str],
+                 schema_version: int) -> "RunJournal":
+        """The journal for this grid under ``cache_dir`` (loads prior state)."""
+        run_id = run_id_for_keys(keys, schema_version)
+        journal = cls(Path(cache_dir) / JOURNALS_DIR / f"{run_id}.json", run_id)
+        journal.load()
+        return journal
+
+    # -- persistence -------------------------------------------------------------------
+
+    def load(self) -> "RunJournal":
+        """Read prior entries (corrupt/stale journals degrade to empty)."""
+        try:
+            raw = json.loads(self.path.read_text(encoding="utf-8"))
+            if raw.get("schema") != JOURNAL_SCHEMA_VERSION:
+                raise ValueError("stale journal schema")
+            if raw.get("run_id") != self.run_id:
+                raise ValueError("journal run-id mismatch")
+            entries = raw.get("entries")
+            if not isinstance(entries, dict):
+                raise ValueError("malformed journal")
+            self.entries = {str(k): dict(v) for k, v in entries.items()}
+        except Exception:
+            self.entries = {}
+        return self
+
+    def flush(self) -> None:
+        """Atomically publish the journal (pid-unique temp + ``os.replace``)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_name(f".{self.path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps({
+            "schema": JOURNAL_SCHEMA_VERSION,
+            "run_id": self.run_id,
+            "entries": self.entries,
+        }, indent=2, sort_keys=True), encoding="utf-8")
+        os.replace(tmp, self.path)
+
+    # -- recording ---------------------------------------------------------------------
+
+    def record_completed(self, key: str, attempts: int) -> None:
+        """Mark one scenario finished (flushed immediately for crash safety)."""
+        self.entries[key] = {"status": self.STATUS_COMPLETED,
+                             "attempts": int(attempts)}
+        self.flush()
+
+    def record_failed(self, key: str, reason: str, kind: str,
+                      attempts: int) -> None:
+        """Mark one scenario failed with its taxonomy verdict (flushed)."""
+        self.entries[key] = {"status": self.STATUS_FAILED, "reason": str(reason),
+                             "kind": str(kind), "attempts": int(attempts)}
+        self.flush()
+
+    # -- queries -----------------------------------------------------------------------
+
+    def completed(self, key: str) -> bool:
+        """Whether ``key`` finished successfully in a prior (or this) run."""
+        entry = self.entries.get(key)
+        return bool(entry) and entry.get("status") == self.STATUS_COMPLETED
+
+    def deterministic_failure(self, key: str) -> Optional[Dict[str, object]]:
+        """The prior deterministic-failure entry for ``key``, if any."""
+        entry = self.entries.get(key)
+        if entry and entry.get("status") == self.STATUS_FAILED \
+                and entry.get("kind") == "deterministic":
+            return dict(entry)
+        return None

@@ -1382,12 +1382,14 @@ class ReplayEngine:
 
     def __init__(self, template_dir: Optional[Path] = None,
                  store: Optional["TemplateStore"] = None,
-                 max_stored: Optional[int] = None):
+                 max_stored: Optional[int] = None,
+                 fault_plan=None):
         self.template_dir = Path(template_dir) if template_dir is not None else None
         if store is None and self.template_dir is not None:
             from .template_store import TemplateStore
             kwargs = {} if max_stored is None else {"max_entries": max_stored}
-            store = TemplateStore(self.template_dir, **kwargs)
+            store = TemplateStore(self.template_dir, fault_plan=fault_plan,
+                                  **kwargs)
         self.store = store
         self._families: Dict[str, TemplateFamily] = {}
         #: Families that required at least one fresh capture this process

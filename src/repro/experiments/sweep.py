@@ -72,10 +72,11 @@ import itertools
 import json
 import os
 import time
+import traceback as traceback_module
 import weakref
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass, field
-from functools import partial
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -85,8 +86,13 @@ from ..core.ati import compute_interval_arrays, summarize_values_us
 from ..core.breakdown import BreakdownSeries, OccupationBreakdown, occupation_breakdown
 from ..core.fragmentation import analyze_fragmentation
 from ..core.swap import BandwidthConfig, swappable_fraction
+from ..errors import (ConfigurationError, InfeasibleScenarioError,
+                      InjectedFaultError, OutOfMemoryError, ReproError,
+                      ScenarioTimeoutError, SweepFaultError)
 from ..train.session import SessionResult, TrainingRunConfig, run_training_session
 from ..units import MIB
+from .faults import FaultPlan
+from .journal import RunJournal
 
 #: Version of the cached result schema; bump to invalidate every cache entry.
 #: v2: policies generalized to the baselines registry, dtype axis added.
@@ -382,6 +388,27 @@ class ScenarioResult:
         return row
 
 
+def scenario_identity(scenario: Scenario) -> Dict[str, object]:
+    """The identifying fields shared by result rows and failure records."""
+    config = scenario.config
+    return {
+        "model": config.model,
+        "dataset": config.dataset,
+        "batch_size": config.batch_size,
+        "iterations": config.iterations,
+        "allocator": config.allocator,
+        "swap_policy": scenario.swap_policy,
+        "device_spec": config.device_spec,
+        "dtype": config.dtype,
+        "n_devices": config.n_devices,
+        "interconnect": config.interconnect,
+        "swap": config.swap,
+        "device_memory_capacity": config.device_memory_capacity,
+        "execution_mode": config.execution_mode,
+        "seed": config.seed,
+    }
+
+
 def _swap_policy_summary(policy: str, session: SessionResult,
                          bandwidths: BandwidthConfig) -> Optional[Dict[str, object]]:
     """Evaluate the requested policy (from the baselines registry) on the trace.
@@ -448,22 +475,7 @@ def reduce_session(scenario: Scenario, bandwidths: BandwidthConfig,
 
     config = scenario.config
     return ScenarioResult(
-        scenario={
-            "model": config.model,
-            "dataset": config.dataset,
-            "batch_size": config.batch_size,
-            "iterations": config.iterations,
-            "allocator": config.allocator,
-            "swap_policy": scenario.swap_policy,
-            "device_spec": config.device_spec,
-            "dtype": config.dtype,
-            "n_devices": config.n_devices,
-            "interconnect": config.interconnect,
-            "swap": config.swap,
-            "device_memory_capacity": config.device_memory_capacity,
-            "execution_mode": config.execution_mode,
-            "seed": config.seed,
-        },
+        scenario=scenario_identity(scenario),
         key=scenario.key(bandwidths),
         peak_allocated_bytes=int(session.peak_allocated_bytes),
         peak_reserved_bytes=int(session.peak_reserved_bytes),
@@ -509,8 +521,89 @@ class _ScenarioFailure:
         return self.error
 
 
+# -- failure taxonomy -----------------------------------------------------------------
+
+#: Failure kinds: a *transient* failure describes the harness (retryable
+#: under the per-scenario budget), a *deterministic* one describes the
+#: scenario itself (recorded once, never retried).
+TRANSIENT, DETERMINISTIC = "transient", "deterministic"
+
+
+def classify_failure(error: BaseException) -> Tuple[str, str]:
+    """Map an exception to its ``(reason code, kind)`` taxonomy verdict.
+
+    Transient reasons — a dead worker (``BrokenProcessPool``), an expired
+    per-scenario deadline, an injected harness fault, a cache/storage I/O
+    error — are properties of the *run*, so retrying the scenario can
+    succeed.  Deterministic reasons — an infeasible capacity, a raw OOM, a
+    configuration error, and any unrecognized exception (re-running the same
+    pure simulation reproduces it) — are properties of the *scenario*:
+    they are recorded once in the failure manifest and never retried.
+    """
+    if isinstance(error, BrokenProcessPool):
+        return "worker_crash", TRANSIENT
+    if isinstance(error, ScenarioTimeoutError):
+        return "timeout", TRANSIENT
+    if isinstance(error, InjectedFaultError):
+        return "injected_fault", TRANSIENT
+    if isinstance(error, SweepFaultError):
+        return "fault", TRANSIENT
+    if isinstance(error, InfeasibleScenarioError):
+        return "infeasible", DETERMINISTIC
+    if isinstance(error, OutOfMemoryError):
+        return "oom", DETERMINISTIC
+    if isinstance(error, ConfigurationError):
+        return "config", DETERMINISTIC
+    if isinstance(error, OSError):
+        return "io_error", TRANSIENT
+    return "error", DETERMINISTIC
+
+
+@dataclass
+class FailureRecord:
+    """One scenario's terminal entry in the sweep's failure manifest.
+
+    Mirrors :class:`ScenarioResult` for scenarios that did not produce one:
+    the identifying fields, the content-hash key, the taxonomy verdict
+    (``reason`` code + ``kind``), how many attempts were spent, and the
+    final error (message plus the worker traceback when one crossed the
+    pool boundary).  ``resumed`` marks failures replayed from a prior run's
+    journal under ``--resume`` rather than re-executed.
+    """
+
+    scenario: Dict[str, object]
+    key: str
+    reason: str
+    kind: str
+    attempts: int
+    error: str
+    traceback: str = ""
+    resumed: bool = False
+    #: The live exception (used by strict re-raise); never serialized.
+    error_obj: Optional[BaseException] = field(default=None, repr=False,
+                                               compare=False)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (drops the live exception object)."""
+        data = asdict(self)
+        data.pop("error_obj", None)
+        return data
+
+    def describe(self) -> str:
+        """One-line rendering for the CLI/report failure footer."""
+        s = self.scenario
+        resumed = " (resumed)" if self.resumed else ""
+        return (f"{s.get('model')}/batch={s.get('batch_size')} "
+                f"alloc={s.get('allocator')} device={s.get('device_spec')} "
+                f"swap={s.get('swap')}: reason={self.reason} kind={self.kind} "
+                f"attempts={self.attempts}{resumed} — {self.error}")
+
+
 def _run_scenario_chunk(scenarios: List[Scenario],
-                        bandwidths: Optional[BandwidthConfig]):
+                        bandwidths: Optional[BandwidthConfig],
+                        fault_plan: Optional[FaultPlan] = None,
+                        keys: Optional[List[str]] = None,
+                        attempts: Optional[List[int]] = None):
     """Pool worker: run several scenarios inside one task submission.
 
     Chunked submission amortizes the per-task pickling/dispatch overhead of
@@ -519,14 +612,22 @@ def _run_scenario_chunk(scenarios: List[Scenario],
     are returned in-band (as a :class:`_ScenarioFailure` carrying the worker
     traceback) instead of failing the whole chunk, so one bad scenario never
     discards its chunk-mates' work.
-    """
-    import traceback as traceback_module
 
+    ``fault_plan``/``keys``/``attempts`` thread the deterministic
+    fault-injection harness into the worker: each scenario's fault decision
+    is a pure function of its key and attempt number, so retries across
+    rebuilt pools observe the same schedule.
+    """
     outcomes: List[object] = []
-    for scenario in scenarios:
+    for position, scenario in enumerate(scenarios):
         try:
+            if fault_plan is not None and keys is not None:
+                fault_plan.fire_execution(keys[position],
+                                          0 if attempts is None
+                                          else attempts[position],
+                                          in_worker=True)
             outcomes.append(run_scenario(scenario, bandwidths=bandwidths))
-        except Exception as error:  # re-raised by the parent, with traceback
+        except Exception as error:  # reported to the parent, with traceback
             outcomes.append(_ScenarioFailure(error, traceback_module.format_exc()))
     return outcomes
 
@@ -553,9 +654,34 @@ class SweepResult:
     #: Replay-eligible scenarios that fell back to fresh simulation, tallied
     #: by :class:`~repro.experiments.replay.TemplateError` reason code.
     replay_fallbacks: Dict[str, int] = field(default_factory=dict)
+    #: Scenarios that terminally failed this run (the failure manifest);
+    #: the partial ``results`` above still carry every scenario that
+    #: completed.  Expansion order, like ``results``.
+    failures: List[FailureRecord] = field(default_factory=list)
+    #: Transient-failure re-submissions performed under the retry budget.
+    retries: int = 0
+    #: Corrupt artifacts moved aside this run, tallied by artifact kind
+    #: (``cache_corrupt`` entries, ``template_corrupt`` stores).
+    quarantined: Dict[str, int] = field(default_factory=dict)
+    #: Scenarios skipped because a prior run's journal already recorded
+    #: their deterministic failure (``resume=True``).
+    resumed_skipped: int = 0
 
     def __len__(self) -> int:
         return len(self.results)
+
+    def failure_summary(self) -> str:
+        """Multi-line failure footer for the CLI/report (empty when clean)."""
+        if not self.failures:
+            return ""
+        lines = [f"{len(self.failures)} scenario(s) failed "
+                 f"({self.retries} retries performed)"]
+        lines.extend(f"  - {record.describe()}" for record in self.failures)
+        if self.quarantined:
+            tally = ", ".join(f"{kind}={count}"
+                              for kind, count in sorted(self.quarantined.items()))
+            lines.append(f"  quarantined artifacts: {tally}")
+        return "\n".join(lines)
 
     def rows(self) -> List[Dict[str, object]]:
         """Tidy flat rows, one per scenario, in expansion order."""
@@ -617,7 +743,37 @@ class SweepRunner:
     chunk_size:
         Scenarios submitted to a pool worker per task; ``None`` picks a size
         that gives every worker a few chunks (load balancing) while keeping
-        the per-task dispatch overhead amortized.
+        the per-task dispatch overhead amortized.  A per-scenario
+        ``timeout_s`` forces chunks of one (a deadline must map to exactly
+        one scenario to kill).
+    retries:
+        Per-scenario budget of re-submissions after a *transient* failure
+        (worker crash, timeout, injected fault, I/O error — see
+        :func:`classify_failure`).  Deterministic failures are recorded once
+        and never retried.
+    backoff_s:
+        Base of the deterministic exponential backoff between retry rounds:
+        round ``n`` (1-based) sleeps ``backoff_s * 2**(n-1)`` first.
+    timeout_s:
+        Per-scenario wall-clock deadline.  On the pool path an overdue
+        scenario gets its workers killed and the pool rebuilt; on the serial
+        path the deadline is checked post-hoc (a pure simulation cannot be
+        preempted in-process).
+    strict:
+        When true (the default, the historical behavior) the first terminal
+        failure is re-raised after the run drains.  When false, failures are
+        returned in ``SweepResult.failures`` and the partial results stand.
+    resume:
+        Consult the per-grid run journal: scenarios that already failed
+        deterministically in a prior run are skipped (resurfaced as
+        ``resumed`` failure records) instead of re-executed.
+    journal:
+        Whether to keep the journal at all; ``None`` (default) enables it
+        exactly when a ``cache_dir`` is configured.
+    fault_plan:
+        A deterministic :class:`~repro.experiments.faults.FaultPlan` to
+        inject; ``None`` falls back to the ``REPRO_FAULT_PLAN`` environment
+        hook (and to no-op when that is unset too).
 
     The worker pool is created lazily on the first parallel :meth:`run` and
     *reused across runs* — repeated sweeps (the report generator issues
@@ -629,7 +785,14 @@ class SweepRunner:
                  use_cache: bool = True,
                  bandwidths: Optional[BandwidthConfig] = None,
                  chunk_size: Optional[int] = None,
-                 replay_batching: bool = True):
+                 replay_batching: bool = True,
+                 retries: int = 0,
+                 backoff_s: float = 0.05,
+                 timeout_s: Optional[float] = None,
+                 strict: bool = True,
+                 resume: bool = False,
+                 journal: Optional[bool] = None,
+                 fault_plan: Optional[FaultPlan] = None):
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.workers = max(1, int(workers))
         self.use_cache = bool(use_cache)
@@ -639,8 +802,18 @@ class SweepRunner:
         #: (:meth:`ReplayEngine.price_batch`); ``False`` restores the
         #: scenario-at-a-time scalar path (benchmark baseline).
         self.replay_batching = bool(replay_batching)
+        self.retries = max(0, int(retries))
+        self.backoff_s = max(0.0, float(backoff_s))
+        self.timeout_s = None if timeout_s is None else float(timeout_s)
+        self.strict = bool(strict)
+        self.resume = bool(resume)
+        self.journal_enabled = (self.cache_dir is not None
+                                if journal is None else bool(journal))
+        self.fault_plan = fault_plan if fault_plan is not None else FaultPlan.from_env()
         self._pool: Optional[ProcessPoolExecutor] = None
         self._replay_engine = None  # lazy ReplayEngine (replay scenarios only)
+        self._cache_quarantined = 0  # corrupt cache entries moved aside
+        self._cache_io_errors = 0    # cache writes that failed (tallied, not fatal)
 
     # -- worker pool ------------------------------------------------------------------
 
@@ -667,6 +840,28 @@ class SweepRunner:
             self._pool.shutdown(wait=True)
             self._pool = None
 
+    def _kill_pool(self) -> None:
+        """Forcibly terminate the pool (hung or crashed workers).
+
+        ``shutdown(wait=True)`` would block forever behind a wedged scenario,
+        so the timeout path terminates the worker processes directly and
+        abandons the executor without waiting; the next round rebuilds a
+        fresh pool via :meth:`_ensure_pool`.
+        """
+        if self._pool is None:
+            return
+        finalizer = getattr(self, "_pool_finalizer", None)
+        if finalizer is not None:
+            finalizer.detach()
+        processes = getattr(self._pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.terminate()
+            except Exception:  # already dead — exactly what we wanted
+                pass
+        self._pool.shutdown(wait=False, cancel_futures=True)
+        self._pool = None
+
     def __enter__(self) -> "SweepRunner":
         return self
 
@@ -690,8 +885,33 @@ class SweepRunner:
             return None
         return self.cache_dir / f"{scenario.key(self.bandwidths)}.json"
 
+    def _quarantine_cache_entry(self, path: Path) -> None:
+        """Move a corrupt cache entry into ``<cache_dir>/quarantine/``.
+
+        Keeping the bad bytes (instead of silently recomputing over them)
+        preserves the evidence for post-mortem and guarantees a torn write
+        can never be half-parsed twice.  Falls back to unlinking when even
+        the move fails.
+        """
+        try:
+            quarantine = path.parent / "quarantine"
+            quarantine.mkdir(parents=True, exist_ok=True)
+            os.replace(path, quarantine / path.name)
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        self._cache_quarantined += 1
+
     def cache_load(self, scenario: Scenario) -> Optional[ScenarioResult]:
-        """Load one scenario's cached result (None on miss or corrupt entry)."""
+        """Load one scenario's cached result (None on miss or corrupt entry).
+
+        A schema-version mismatch is a legitimate invalidation (the entry is
+        simply ignored); an *unparseable* entry is corruption — it is moved
+        into the quarantine directory and tallied as ``cache_corrupt`` in
+        :attr:`SweepResult.quarantined` before the miss is reported.
+        """
         path = self._cache_path(scenario)
         if path is None or not path.is_file():
             return None
@@ -702,28 +922,48 @@ class SweepRunner:
                 return None
             result = ScenarioResult.from_dict(data["result"])
         except (json.JSONDecodeError, KeyError, TypeError, ValueError):
-            return None  # corrupt entries are treated as misses and rewritten
+            self._quarantine_cache_entry(path)
+            return None  # treated as a miss; a fresh result is rewritten
+        except OSError:
+            self._cache_io_errors += 1
+            return None
         result.from_cache = True
         return result
 
     def cache_store(self, scenario: Scenario, result: ScenarioResult) -> None:
-        """Write one scenario result to the cache (atomic rename)."""
+        """Write one scenario result to the cache (atomic rename).
+
+        A failed write is tallied (``io_error``) but never fatal: losing a
+        cache entry only costs recomputation next run, while aborting the
+        sweep would discard finished work.
+        """
         path = self._cache_path(scenario)
         if path is None:
             return
-        path.parent.mkdir(parents=True, exist_ok=True)
-        payload = {
-            "schema_version": RESULT_SCHEMA_VERSION,
-            "fingerprint": scenario.fingerprint(self.bandwidths),
-            "result": result.to_dict(),
-        }
-        temporary = path.with_suffix(".tmp")
-        with open(temporary, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle)
-        os.replace(temporary, path)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            payload = {
+                "schema_version": RESULT_SCHEMA_VERSION,
+                "fingerprint": scenario.fingerprint(self.bandwidths),
+                "result": result.to_dict(),
+            }
+            temporary = path.with_suffix(".tmp")
+            with open(temporary, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(temporary, path)
+        except OSError:
+            self._cache_io_errors += 1
+            return
+        if self.fault_plan is not None:
+            self.fault_plan.corrupt_artifact("cache_corrupt", path.stem, path)
 
     def clear_cache(self) -> int:
-        """Delete every cache entry; returns the number of files removed."""
+        """Delete every cache entry; returns the number of files removed.
+
+        Run journals and quarantined artifacts are wiped along with the
+        entries they describe, but are *not* counted: the return value is
+        the number of results invalidated, the contract callers display.
+        """
         if self.cache_dir is None or not self.cache_dir.is_dir():
             return 0
         removed = 0
@@ -737,6 +977,17 @@ class SweepRunner:
         if index_path.is_file():
             index_path.unlink()
             removed += 1
+        for side_dir in ("journals", "quarantine"):
+            directory = self.cache_dir / side_dir
+            if directory.is_dir():
+                for path in directory.iterdir():
+                    if path.is_file():
+                        path.unlink()
+        quarantine = self.cache_dir / "templates" / "quarantine"
+        if quarantine.is_dir():
+            for path in quarantine.iterdir():
+                if path.is_file():
+                    path.unlink()
         return removed
 
     # -- replay -----------------------------------------------------------------------
@@ -748,20 +999,45 @@ class SweepRunner:
             from .replay import ReplayEngine
             template_dir = (self.cache_dir / "templates"
                             if self.cache_dir is not None else None)
-            self._replay_engine = ReplayEngine(template_dir=template_dir)
+            self._replay_engine = ReplayEngine(template_dir=template_dir,
+                                               fault_plan=self.fault_plan)
         return self._replay_engine
 
     # -- execution --------------------------------------------------------------------
 
     def run(self, grid_or_scenarios: Union[SweepGrid, Sequence[Scenario]]) -> SweepResult:
-        """Run every scenario (cache-first), preserving expansion order."""
+        """Run every scenario (cache-first), preserving expansion order.
+
+        The pipeline: cache pass, resume pass (skip prior deterministic
+        failures when ``resume=True``), replay phase, then the retry/timeout
+        execution loop.  Each result is cached and journaled the moment it
+        completes, so an interrupt at any instant loses at most the work in
+        flight.  With ``strict=True`` (the default) the first terminal
+        failure is re-raised after everything drains; otherwise failures are
+        returned in :attr:`SweepResult.failures` next to the partial results.
+        """
         if isinstance(grid_or_scenarios, SweepGrid):
             scenarios = grid_or_scenarios.expand()
         else:
             scenarios = list(grid_or_scenarios)
         started = time.perf_counter()
+        self._cache_quarantined = 0
+        self._cache_io_errors = 0
+
+        keys = [scenario.key(self.bandwidths) for scenario in scenarios]
+        journal: Optional[RunJournal] = None
+        if self.journal_enabled and self.cache_dir is not None:
+            journal = RunJournal.for_keys(self.cache_dir, keys,
+                                          RESULT_SCHEMA_VERSION)
+            if not self.resume:
+                # A fresh (non-resume) run voids the prior bookkeeping; the
+                # first record flushed rewrites the journal from scratch.
+                journal.entries = {}
 
         results: List[Optional[ScenarioResult]] = [None] * len(scenarios)
+        failure_records: Dict[int, FailureRecord] = {}
+        resumed_skipped = 0
+
         missing: List[Tuple[int, Scenario]] = []
         for index, scenario in enumerate(scenarios):
             cached = self.cache_load(scenario) if self.use_cache else None
@@ -770,9 +1046,35 @@ class SweepRunner:
             else:
                 missing.append((index, scenario))
 
-        failure: Optional[Exception] = None
+        if self.resume and journal is not None:
+            # Deterministic failures recorded by a prior run are skipped —
+            # re-running them cannot change the outcome — and resurfaced in
+            # the manifest marked ``resumed``.  Transient failures re-run
+            # with a fresh budget; completed scenarios were already served
+            # by the cache above (data wins over bookkeeping).
+            remaining: List[Tuple[int, Scenario]] = []
+            for index, scenario in missing:
+                prior = journal.deterministic_failure(keys[index])
+                if prior is not None:
+                    reason = str(prior.get("reason", "error"))
+                    failure_records[index] = FailureRecord(
+                        scenario=scenario_identity(scenario),
+                        key=keys[index],
+                        reason=reason,
+                        kind=DETERMINISTIC,
+                        attempts=int(prior.get("attempts", 1)),
+                        error=(f"skipped: a prior run recorded a "
+                               f"deterministic '{reason}' failure"),
+                        resumed=True,
+                    )
+                    resumed_skipped += 1
+                else:
+                    remaining.append((index, scenario))
+            missing = remaining
+
         replayed = templates_compiled = template_variants = 0
         replay_fallbacks: Dict[str, int] = {}
+        template_quarantined = 0
         replay_candidates = [(i, s) for i, s in missing if s.via_replay]
         if replay_candidates:
             # Replay runs serially in-process: pricing a scenario from a
@@ -780,10 +1082,15 @@ class SweepRunner:
             # worker.  Scenarios the engine declines (no template, structure
             # invalid for the target capacity, swap engine on) stay in
             # ``missing`` and take the ordinary simulation path below, with
-            # the decline reason tallied in ``replay_fallbacks``.
+            # the decline reason tallied in ``replay_fallbacks`` — and an
+            # engine *crash* degrades the same way (reason ``engine_error``)
+            # instead of aborting the sweep.
             engine = self._ensure_replay_engine()
+            store = getattr(engine, "store", None)
+            quarantined_before = getattr(store, "quarantined", 0)
             bandwidths_list = [scenario.resolve_bandwidths(self.bandwidths)
                                for _, scenario in replay_candidates]
+            engine_errors = 0
             if self.replay_batching:
                 # Whole grid in one call: the engine groups the scenarios by
                 # structure and prices each group as a single broadcast.
@@ -791,8 +1098,8 @@ class SweepRunner:
                     outcomes = engine.price_batch(
                         [scenario for _, scenario in replay_candidates],
                         bandwidths_list)
-                except Exception as error:  # re-raised after the run drains
-                    failure = failure or error
+                except Exception:  # degrade to fresh simulation below
+                    engine_errors = len(replay_candidates)
                     outcomes = [None] * len(replay_candidates)
             else:
                 outcomes = []
@@ -800,8 +1107,8 @@ class SweepRunner:
                                                      bandwidths_list):
                     try:
                         outcomes.append(engine.price(scenario, bandwidths))
-                    except Exception as error:  # re-raised after the run drains
-                        failure = failure or error
+                    except Exception:  # degrade to fresh simulation below
+                        engine_errors += 1
                         outcomes.append(None)
             priced: set = set()
             for (index, scenario), result in zip(replay_candidates, outcomes):
@@ -809,56 +1116,37 @@ class SweepRunner:
                     continue
                 results[index] = result
                 self.cache_store(scenario, result)
+                if journal is not None:
+                    journal.record_completed(keys[index], 1)
                 priced.add(index)
             missing = [(i, s) for i, s in missing if i not in priced]
             replayed = engine.replayed
             templates_compiled = engine.templates_compiled
             template_variants = engine.variants_captured
             replay_fallbacks = dict(engine.fallback_reasons)
+            if engine_errors:
+                replay_fallbacks["engine_error"] = (
+                    replay_fallbacks.get("engine_error", 0) + engine_errors)
+            template_quarantined = (getattr(store, "quarantined", 0)
+                                    - quarantined_before)
 
+        retries_performed = 0
         if missing:
-            # Each result is cached the moment its chunk completes, so one
-            # failing scenario (raised after the loop drains) never discards
-            # the work of the scenarios that already finished.
-            if self.workers > 1 and len(missing) > 1:
-                pool = self._ensure_pool()
-                futures = {
-                    pool.submit(_run_scenario_chunk,
-                                [scenario for _, scenario in chunk],
-                                self.bandwidths): chunk
-                    for chunk in self._chunks(missing)
-                }
-                pool_broken = False
-                for future in as_completed(futures):
-                    chunk = futures[future]
-                    try:
-                        outcomes = future.result()
-                    except Exception as error:  # pool-level failure (worker died)
-                        failure = failure or error
-                        pool_broken = True
-                        continue
-                    for (index, scenario), outcome in zip(chunk, outcomes):
-                        if isinstance(outcome, _ScenarioFailure):
-                            failure = failure or outcome.unwrap()
-                            continue
-                        results[index] = outcome
-                        self.cache_store(scenario, outcome)
-                if pool_broken:
-                    # Dispose of the (likely broken) executor so the next
-                    # run() starts from a fresh pool instead of failing fast.
-                    self.close()
-            else:
-                worker = partial(run_scenario, bandwidths=self.bandwidths)
-                for index, scenario in missing:
-                    try:
-                        result = worker(scenario)
-                    except Exception as error:  # re-raised after the loop drains
-                        failure = failure or error
-                        continue
-                    results[index] = result
-                    self.cache_store(scenario, result)
-        if failure is not None:
-            raise failure
+            retries_performed = self._execute_missing(
+                missing, keys, results, failure_records, journal)
+
+        failures = [failure_records[index] for index in sorted(failure_records)]
+        if self.strict and failures:
+            first = failures[0]
+            if first.error_obj is not None:
+                raise first.error_obj
+            raise ReproError(first.error)
+
+        quarantined: Dict[str, int] = {}
+        if self._cache_quarantined:
+            quarantined["cache_corrupt"] = self._cache_quarantined
+        if template_quarantined:
+            quarantined["template_corrupt"] = template_quarantined
 
         cache_hits = sum(1 for result in results
                          if result is not None and result.from_cache)
@@ -871,7 +1159,230 @@ class SweepRunner:
             templates_compiled=templates_compiled,
             template_variants=template_variants,
             replay_fallbacks=replay_fallbacks,
+            failures=failures,
+            retries=retries_performed,
+            quarantined=quarantined,
+            resumed_skipped=resumed_skipped,
         )
+
+    # -- the retry/timeout execution loop ----------------------------------------------
+
+    def _execute_missing(self, missing: List[Tuple[int, Scenario]],
+                         keys: List[str],
+                         results: List[Optional[ScenarioResult]],
+                         failure_records: Dict[int, FailureRecord],
+                         journal: Optional[RunJournal]) -> int:
+        """Run the uncached scenarios under the retry policy; returns retries.
+
+        Scenarios execute in rounds: every pending scenario is submitted,
+        outcomes are classified, transient failures within budget re-enter
+        the next round (after a deterministic exponential backoff), terminal
+        outcomes are recorded.  A scenario whose round died *around* it (the
+        pool broke before its chunk was submitted) re-enters without
+        spending an attempt — only observed outcomes consume budget, which
+        both bounds the loop (the culprit's budget drains) and never charges
+        an innocent scenario for its neighbor's crash.
+        """
+        attempts: Dict[int, int] = {index: 0 for index, _ in missing}
+        pending = list(missing)
+        retries_performed = 0
+        round_number = 0
+        while pending:
+            if round_number > 0 and self.backoff_s > 0:
+                time.sleep(self.backoff_s * (2 ** (round_number - 1)))
+            failures = self._run_round(pending, keys, attempts, results, journal)
+            round_number += 1
+            next_pending: List[Tuple[int, Scenario]] = []
+            for index, scenario in pending:
+                if results[index] is not None:
+                    continue  # persisted by the round the moment it finished
+                outcome = failures.get(index)
+                if outcome is None:
+                    # Never actually ran this round (unsubmitted when the
+                    # pool died): re-enter without consuming an attempt.
+                    next_pending.append((index, scenario))
+                    continue
+                attempts[index] += 1
+                error, trace_text = outcome
+                reason, kind = classify_failure(error)
+                if kind == TRANSIENT and attempts[index] <= self.retries:
+                    retries_performed += 1
+                    next_pending.append((index, scenario))
+                    continue
+                failure_records[index] = FailureRecord(
+                    scenario=scenario_identity(scenario),
+                    key=keys[index],
+                    reason=reason,
+                    kind=kind,
+                    attempts=attempts[index],
+                    error=str(error),
+                    traceback=trace_text,
+                    error_obj=error,
+                )
+                if journal is not None:
+                    journal.record_failed(keys[index], reason, kind,
+                                          attempts[index])
+            pending = next_pending
+        return retries_performed
+
+    def _record_success(self, index: int, scenario: Scenario, key: str,
+                        result: ScenarioResult,
+                        results: List[Optional[ScenarioResult]],
+                        attempts: Dict[int, int],
+                        journal: Optional[RunJournal]) -> None:
+        """Persist one completed scenario *immediately* (crash safety).
+
+        Caching and journaling happen the moment the result lands in the
+        parent, not at end-of-round: an interrupt a millisecond later loses
+        nothing that already finished.
+        """
+        attempts[index] += 1
+        results[index] = result
+        self.cache_store(scenario, result)
+        if journal is not None:
+            journal.record_completed(key, attempts[index])
+
+    def _run_round(self, pending: List[Tuple[int, Scenario]],
+                   keys: List[str], attempts: Dict[int, int],
+                   results: List[Optional[ScenarioResult]],
+                   journal: Optional[RunJournal]) -> Dict[int, Tuple[BaseException, str]]:
+        """One submission round over the pending scenarios.
+
+        Successes are persisted in place (``results``/cache/journal) as they
+        complete; the return value maps the failed indices to their
+        ``(error, traceback_text)``.  An index with neither a result nor a
+        failure was not executed this round (the pool died before its chunk
+        was submitted) and must not be charged an attempt.
+        """
+        failures: Dict[int, Tuple[BaseException, str]] = {}
+        if self.workers > 1 and len(pending) > 1:
+            self._run_pool_round(pending, keys, attempts, results, journal,
+                                 failures)
+        else:
+            self._run_serial_round(pending, keys, attempts, results, journal,
+                                   failures)
+        return failures
+
+    def _run_serial_round(self, pending: List[Tuple[int, Scenario]],
+                          keys: List[str], attempts: Dict[int, int],
+                          results: List[Optional[ScenarioResult]],
+                          journal: Optional[RunJournal],
+                          failures: Dict[int, Tuple[BaseException, str]]) -> None:
+        """Serial in-process round (``workers == 1`` or a single scenario).
+
+        The per-scenario deadline is checked *post hoc*: a pure in-process
+        simulation cannot be preempted, so an overdue scenario's result is
+        discarded and replaced with a :class:`ScenarioTimeoutError` — the
+        same outcome the pool path produces by killing the worker.
+        ``KeyboardInterrupt`` propagates (the journal already holds every
+        finished scenario, so Ctrl-C is resumable by construction).
+        """
+        for index, scenario in pending:
+            scenario_started = time.perf_counter()
+            try:
+                if self.fault_plan is not None:
+                    self.fault_plan.fire_execution(keys[index], attempts[index],
+                                                   in_worker=False)
+                result = run_scenario(scenario, bandwidths=self.bandwidths)
+                elapsed = time.perf_counter() - scenario_started
+                if self.timeout_s is not None and elapsed > self.timeout_s:
+                    raise ScenarioTimeoutError(keys[index], elapsed,
+                                               self.timeout_s)
+            except KeyboardInterrupt:
+                raise
+            except Exception as error:
+                failures[index] = (error, traceback_module.format_exc())
+                continue
+            self._record_success(index, scenario, keys[index], result,
+                                 results, attempts, journal)
+
+    def _run_pool_round(self, pending: List[Tuple[int, Scenario]],
+                        keys: List[str], attempts: Dict[int, int],
+                        results: List[Optional[ScenarioResult]],
+                        journal: Optional[RunJournal],
+                        failures: Dict[int, Tuple[BaseException, str]]) -> None:
+        """Parallel round over the process pool.
+
+        Without a deadline this is one shot of chunked submission.  With
+        ``timeout_s`` set, chunks shrink to a single scenario (the unit a
+        deadline can kill), submission is windowed to the worker count so
+        every in-flight task's clock starts when it is actually submitted,
+        and an overdue task terminates the whole pool (``os.kill`` is the
+        only way to preempt a wedged worker) — innocent in-flight scenarios
+        are simply not charged and re-run next round on a fresh pool.
+        """
+        pool = self._ensure_pool()
+        timeout = self.timeout_s
+        if timeout is not None:
+            chunks = [[entry] for entry in pending]
+        else:
+            chunks = self._chunks(pending)
+        queue = list(chunks)
+        in_flight: Dict[object, Tuple[List[Tuple[int, Scenario]], float]] = {}
+
+        def submit(chunk: List[Tuple[int, Scenario]]) -> None:
+            future = pool.submit(
+                _run_scenario_chunk,
+                [scenario for _, scenario in chunk],
+                self.bandwidths,
+                self.fault_plan,
+                [keys[index] for index, _ in chunk],
+                [attempts[index] for index, _ in chunk])
+            in_flight[future] = (chunk, time.perf_counter())
+
+        window = self.workers if timeout is not None else len(queue)
+        while queue and len(in_flight) < window:
+            submit(queue.pop(0))
+
+        pool_lost = False
+        while in_flight:
+            done, _ = wait(list(in_flight),
+                           timeout=None if timeout is None else 0.05,
+                           return_when=FIRST_COMPLETED)
+            for future in done:
+                chunk, _submitted_at = in_flight.pop(future)
+                try:
+                    chunk_outcomes = future.result()
+                except Exception as error:  # pool-level failure (worker died)
+                    for index, _ in chunk:
+                        failures[index] = (error, "")
+                    pool_lost = True
+                    continue
+                for (index, scenario), outcome in zip(chunk, chunk_outcomes):
+                    if isinstance(outcome, _ScenarioFailure):
+                        failures[index] = (outcome.unwrap(), outcome.traceback)
+                    else:
+                        self._record_success(index, scenario, keys[index],
+                                             outcome, results, attempts,
+                                             journal)
+            if pool_lost:
+                # Stop feeding work; drain the remaining in-flight futures
+                # (a broken pool fails them fast).  Unsubmitted chunks keep
+                # no outcome and re-run next round, attempt-free.
+                queue.clear()
+                continue
+            if timeout is not None:
+                now = time.perf_counter()
+                overdue = [future for future, (_, submitted_at) in in_flight.items()
+                           if now - submitted_at > timeout]
+                if overdue:
+                    for future in overdue:
+                        chunk, submitted_at = in_flight.pop(future)
+                        for index, _ in chunk:
+                            failures[index] = (
+                                ScenarioTimeoutError(keys[index],
+                                                     now - submitted_at,
+                                                     timeout), "")
+                    self._kill_pool()
+                    in_flight.clear()
+                    queue.clear()
+                    return
+            while queue and len(in_flight) < window:
+                submit(queue.pop(0))
+        if pool_lost:
+            # Dispose of the broken executor so the next round (or the next
+            # run()) starts from a fresh pool instead of failing fast.
+            self.close()
 
 
 def run_sweep(grid: SweepGrid, cache_dir: Optional[Union[str, Path]] = None,

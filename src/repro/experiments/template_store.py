@@ -41,12 +41,38 @@ STORE_SCHEMA_VERSION = 1
 DEFAULT_MAX_ENTRIES = 64
 
 
-class TemplateStore:
-    """Directory of persisted template families with a manifest index."""
+#: Subdirectory holding corrupt ``.npz`` files moved aside by :meth:`TemplateStore.load`.
+QUARANTINE_DIR = "quarantine"
 
-    def __init__(self, root: Path, max_entries: int = DEFAULT_MAX_ENTRIES):
+
+class TemplateStore:
+    """Directory of persisted template families with a manifest index.
+
+    ``fault_plan`` threads the deterministic fault-injection harness in:
+    a ``template_corrupt`` spec overwrites a family's just-published ``.npz``
+    with garbage, exercising the quarantine path the next load takes.
+    """
+
+    def __init__(self, root: Path, max_entries: int = DEFAULT_MAX_ENTRIES,
+                 fault_plan=None):
         self.root = Path(root)
         self.max_entries = max_entries
+        self.fault_plan = fault_plan
+        #: Corrupt archives moved into ``quarantine/`` by this store instance.
+        self.quarantined = 0
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt archive aside (evidence preserved, never re-parsed)."""
+        try:
+            quarantine = self.root / QUARANTINE_DIR
+            quarantine.mkdir(parents=True, exist_ok=True)
+            os.replace(path, quarantine / path.name)
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        self.quarantined += 1
 
     @property
     def index_path(self) -> Path:
@@ -105,8 +131,10 @@ class TemplateStore:
     def load(self, key: str) -> Optional[TemplateFamily]:
         """Load and LRU-touch the stored family for ``key`` (``None`` on miss).
 
-        Corrupt or key-mismatched files are treated as misses and dropped
-        from the manifest, so the caller recompiles instead of failing.
+        Corrupt or key-mismatched files are treated as misses so the caller
+        recompiles instead of failing — but the bad bytes are *quarantined*
+        (moved into ``quarantine/`` and tallied on :attr:`quarantined`), not
+        silently recompiled over, and the manifest entry is dropped.
         """
         path = self.path_for(key)
         if not path.is_file():
@@ -114,6 +142,7 @@ class TemplateStore:
         family = load_family(path, key=key)
         index = self.read_index()
         if family is None:
+            self._quarantine(path)
             if index["entries"].pop(key, None) is not None:
                 self._write_index(index)
             return None
@@ -129,6 +158,8 @@ class TemplateStore:
         """
         path = self.path_for(family.key)
         save_family(family, path)
+        if self.fault_plan is not None:
+            self.fault_plan.corrupt_artifact("template_corrupt", family.key, path)
         index = self.read_index()
         self._touch(index, family.key, self._entry_for(path, family))
         entries = index["entries"]

@@ -53,9 +53,18 @@ class _MemoRunner:
     def __init__(self, runner: SweepRunner):
         self._runner = runner
         self._memo: Dict[str, object] = {}
+        #: Terminal failure records accumulated across the whole generation
+        #: (only populated when the underlying runner is non-strict).
+        self.failures: List[object] = []
 
     def run(self, grid_or_scenarios) -> SweepResult:
-        """Run only the scenarios not seen in this generation; keep order."""
+        """Run only the scenarios not seen in this generation; keep order.
+
+        Results are memoized *by key*, not by submission position: a
+        non-strict runner may return fewer results than scenarios submitted
+        (failed scenarios land in the failure manifest instead), so pairing
+        by ``zip`` would mis-attribute every result after the first gap.
+        """
         if isinstance(grid_or_scenarios, SweepGrid):
             scenarios = grid_or_scenarios.expand()
         else:
@@ -65,14 +74,44 @@ class _MemoRunner:
                    if key not in self._memo]
         if missing:
             fresh = self._runner.run(missing)
-            for scenario, result in zip(missing, fresh.results):
-                self._memo[scenario.key(self._runner.bandwidths)] = result
-        return SweepResult(results=[self._memo[key] for key in keys],
+            for result in fresh.results:
+                self._memo[result.key] = result
+            self.failures.extend(fresh.failures)
+        return SweepResult(results=[self._memo[key] for key in keys
+                                    if key in self._memo],
                            cache_hits=len(scenarios) - len(missing),
-                           cache_misses=len(missing), wall_time_s=0.0)
+                           cache_misses=len(missing), wall_time_s=0.0,
+                           failures=[record for record in self.failures
+                                     if record.key in keys])
 
 
-def _experiments_md(pages, comparison, profile: ReportProfile) -> str:
+def _failures_section(failures) -> str:
+    """A "Failed scenarios" table for partial generations (empty when clean).
+
+    The default (strict) runner raises on the first failure, so committed
+    docs never carry this section; it only appears when a caller generates a
+    report from a non-strict runner and some scenarios terminally failed.
+    """
+    if not failures:
+        return ""
+    rows = [{
+        "model": record.scenario.get("model"),
+        "batch_size": record.scenario.get("batch_size"),
+        "swap": record.scenario.get("swap"),
+        "reason": record.reason,
+        "kind": record.kind,
+        "attempts": record.attempts,
+    } for record in failures]
+    return section(
+        "Failed scenarios",
+        ("The scenarios below produced no result this generation; every "
+         "number above comes from the scenarios that completed."),
+        markdown_table(rows, columns=["model", "batch_size", "swap", "reason",
+                                      "kind", "attempts"]))
+
+
+def _experiments_md(pages, comparison, profile: ReportProfile,
+                    failures=()) -> str:
     """Assemble the top-level EXPERIMENTS.md from the rendered figure pages."""
     index_rows = [{
         "figure": f"[{page.fig_id}]({page.path})",
@@ -128,6 +167,7 @@ def _experiments_md(pages, comparison, profile: ReportProfile) -> str:
         by_axis,
         section("Paper-claim checklist", markdown_table(
             checklist, columns=["figure", "claim", "reproduced"])),
+        _failures_section(failures),
     )
 
 
@@ -142,8 +182,8 @@ def generate_report(runner: Optional[SweepRunner] = None,
     pages = [builder(memo, profile) for builder in FIGURE_BUILDERS]
     comparison = comparison_rows(memo, profile)
 
-    files: Dict[str, str] = {"EXPERIMENTS.md": _experiments_md(pages, comparison,
-                                                               profile)}
+    files: Dict[str, str] = {"EXPERIMENTS.md": _experiments_md(
+        pages, comparison, profile, failures=memo.failures)}
     for page in pages:
         files[page.path] = page.body
         for svg_name, svg_text in page.svgs.items():

@@ -201,6 +201,8 @@ def run_mode(grid_name: str, mode: str, workers: int) -> dict:
         "events_total": total_events,
         "events_per_s": round(total_events / wall_s, 1),
         "peak_rss_bytes": peak_rss_bytes,
+        "retries": sweep.retries,
+        "failures": len(sweep.failures),
         **replay_stats,
         "per_scenario": [
             {"model": result.scenario["model"],
